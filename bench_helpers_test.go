@@ -1,0 +1,24 @@
+package rtmdm
+
+import (
+	"math/rand"
+
+	"rtmdm/internal/nn"
+	"rtmdm/internal/segment"
+)
+
+// newRandomInput builds a deterministic pseudo-random input tensor for a
+// model (bench helper).
+func newRandomInput(m *Model) *nn.Tensor {
+	rng := rand.New(rand.NewSource(42))
+	x := nn.NewTensor(m.Input, m.InQuant)
+	for i := range x.Data {
+		x.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	return x
+}
+
+// segmentBuildForBench exercises the segmenter exactly as System.Build does.
+func segmentBuildForBench(m *Model, plat Platform, pol Policy) (*SegmentPlan, error) {
+	return segment.BuildLimits(m, plat, pol.Limits(plat, 3), segment.Greedy)
+}

@@ -1,0 +1,285 @@
+package rtmdm
+
+// One benchmark per reconstructed table/figure (DESIGN.md §6). Each bench
+// regenerates its experiment end-to-end — workload generation, offline
+// analysis, virtual-time simulation — at a reduced-but-structurally-
+// identical sample count, and reports domain metrics alongside wall time.
+//
+// Regenerate the full evaluation with:
+//
+//	go run ./cmd/rtmdm-bench -all
+//
+// and the quick benchmark versions with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func benchConfig() ExperimentConfig {
+	cfg := QuickExperimentConfig()
+	cfg.Sets = 8
+	return cfg
+}
+
+// runExperiment is the shared bench body.
+func runExperiment(b *testing.B, id string) *ExperimentTable {
+	b.Helper()
+	cfg := benchConfig()
+	var tb *ExperimentTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tb, err = RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// lastColMean averages the numeric values of one column, ignoring cells
+// that fail to parse (units stripped by the caller's transform).
+func colMean(tb *ExperimentTable, col int, strip string) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, row := range tb.Rows {
+		c := strings.TrimSuffix(row[col], strip)
+		v, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func BenchmarkExpT1ModelInventory(b *testing.B) {
+	tb := runExperiment(b, "T1")
+	if v, ok := colMean(tb, len(tb.Columns)-1, ""); ok {
+		b.ReportMetric(v, "mean-speedup")
+	}
+}
+
+func BenchmarkExpF2IsolatedLatency(b *testing.B) {
+	tb := runExperiment(b, "F2")
+	if v, ok := colMean(tb, 3, ""); ok {
+		b.ReportMetric(v, "mean-speedup")
+	}
+}
+
+func BenchmarkExpF3BandwidthSweep(b *testing.B) {
+	tb := runExperiment(b, "F3")
+	// Report the autoencoder speedup at the lowest bandwidth (worst wall).
+	for i, c := range tb.Columns {
+		if c == "autoencoder" {
+			if v, err := strconv.ParseFloat(tb.Rows[0][i], 64); err == nil {
+				b.ReportMetric(v, "ae-speedup@16MBps")
+			}
+		}
+	}
+}
+
+func BenchmarkExpF4Schedulability(b *testing.B) {
+	tb := runExperiment(b, "F4")
+	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
+		b.ReportMetric(v, "rtmdm-mean-sched-%")
+	}
+}
+
+func BenchmarkExpF5EmpiricalMisses(b *testing.B) {
+	tb := runExperiment(b, "F5")
+	if v, ok := colMean(tb, 1, "%"); ok {
+		b.ReportMetric(v, "npfp-mean-missing-%")
+	}
+}
+
+func BenchmarkExpF6SRAMSweep(b *testing.B) {
+	tb := runExperiment(b, "F6")
+	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
+		b.ReportMetric(v, "rtmdm-mean-sched-%")
+	}
+}
+
+func BenchmarkExpF7TaskCountSweep(b *testing.B) {
+	tb := runExperiment(b, "F7")
+	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
+		b.ReportMetric(v, "rtmdm-mean-sched-%")
+	}
+}
+
+func BenchmarkExpT8Pessimism(b *testing.B) {
+	tb := runExperiment(b, "T8")
+	if v, ok := colMean(tb, 3, ""); ok {
+		b.ReportMetric(v, "mean-bound/observed")
+	}
+}
+
+func BenchmarkExpT9Ablations(b *testing.B) {
+	runExperiment(b, "T9")
+}
+
+func BenchmarkExpF10CaseStudy(b *testing.B) {
+	tb := runExperiment(b, "F10")
+	if v, ok := colMean(tb, 3, ""); ok {
+		b.ReportMetric(v, "mean-max-resp-ms")
+	}
+}
+
+func BenchmarkExpT11Contention(b *testing.B) {
+	tb := runExperiment(b, "T11")
+	if v, ok := colMean(tb, 3, ""); ok {
+		b.ReportMetric(v, "mean-mobilenet-ms")
+	}
+}
+
+func BenchmarkExpF12EDFVariant(b *testing.B) {
+	tb := runExperiment(b, "F12")
+	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
+		b.ReportMetric(v, "edf-mean-sched-%")
+	}
+}
+
+// Micro-benchmarks of the load-bearing primitives, so performance
+// regressions in the simulator itself are visible separately from the
+// experiment pipelines.
+
+func BenchmarkSimulateCaseStudySecond(b *testing.B) {
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	set, err := NewSystem(plat, pol).
+		AddTask("kws", "ds-cnn", 50*Millisecond).
+		AddTask("det", "mobilenetv1-0.25", 150*Millisecond).
+		AddTask("anomaly", "autoencoder", 100*Millisecond).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(set, plat, pol, Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeRTMDM(b *testing.B) {
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	set, err := NewSystem(plat, pol).
+		AddTask("kws", "ds-cnn", 50*Millisecond).
+		AddTask("det", "mobilenetv1-0.25", 150*Millisecond).
+		AddTask("anomaly", "autoencoder", 100*Millisecond).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(set, plat, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelForwardDSCNN(b *testing.B) {
+	m, err := BuildModel("ds-cnn", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := newRandomInput(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkSegmentationMobileNet(b *testing.B) {
+	m, err := BuildModel("mobilenetv1-0.25", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segmentBuildForBench(m, plat, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpF13Platforms(b *testing.B) {
+	runExperiment(b, "F13")
+}
+
+func BenchmarkExpT13Granularity(b *testing.B) {
+	tb := runExperiment(b, "T13")
+	if v, ok := colMean(tb, 1, "%"); ok {
+		b.ReportMetric(v, "zero-switch-mean-sched-%")
+	}
+}
+
+func BenchmarkExpT15ChunkedDMA(b *testing.B) {
+	tb := runExperiment(b, "T15")
+	if v, ok := colMean(tb, 1, "%"); ok {
+		b.ReportMetric(v, "mean-sched-%@U0.6")
+	}
+}
+
+func BenchmarkExpT16CacheSensitivity(b *testing.B) {
+	tb := runExperiment(b, "T16")
+	if v, ok := colMean(tb, 1, ""); ok {
+		b.ReportMetric(v, "mobilenet-mean-ms")
+	}
+}
+
+func BenchmarkExpT17Energy(b *testing.B) {
+	tb := runExperiment(b, "T17")
+	if v, ok := colMean(tb, 5, ""); ok {
+		b.ReportMetric(v, "mean-avg-power-mW")
+	}
+}
+
+func BenchmarkExpT18Tuning(b *testing.B) {
+	tb := runExperiment(b, "T18")
+	if v, ok := colMean(tb, 2, "%"); ok {
+		b.ReportMetric(v, "tuned-mean-sched-%")
+	}
+}
+
+func BenchmarkExpF19Deadlines(b *testing.B) {
+	tb := runExperiment(b, "F19")
+	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
+		b.ReportMetric(v, "rtmdm-mean-sched-%")
+	}
+}
+
+func BenchmarkExpF20Jitter(b *testing.B) {
+	tb := runExperiment(b, "F20")
+	if v, ok := colMean(tb, 3, "%"); ok {
+		b.ReportMetric(v, "rtmdm-mean-sched-%")
+	}
+}
+
+func BenchmarkExpT21Seeds(b *testing.B) {
+	runExperiment(b, "T21")
+}
+
+func BenchmarkExpT22Segmentation(b *testing.B) {
+	runExperiment(b, "T22")
+}
+
+func BenchmarkExpT23DesignSpace(b *testing.B) {
+	runExperiment(b, "T23")
+}
+
+func BenchmarkExpT24PerTaskDepth(b *testing.B) {
+	runExperiment(b, "T24")
+}

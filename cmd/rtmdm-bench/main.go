@@ -1,0 +1,136 @@
+// Command rtmdm-bench regenerates the reconstructed evaluation of the
+// RT-MDM paper: one table per experiment ID (see DESIGN.md §6).
+//
+// Usage:
+//
+//	rtmdm-bench -all                     # every experiment, full scale
+//	rtmdm-bench -exp F4 -sets 500        # one experiment, custom scale
+//	rtmdm-bench -exp F4 -csv             # machine-readable output
+//	rtmdm-bench -list                    # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/expr"
+	"rtmdm/internal/plot"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment ID to run (T1, F2, …)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		sets     = flag.Int("sets", 0, "task sets per sweep point (0 = config default)")
+		n        = flag.Int("n", 0, "tasks per generated set (0 = config default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = config default)")
+		quick    = flag.Bool("quick", false, "use the quick (smoke) configuration")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir   = flag.String("outdir", "", "also write each experiment as <ID>.csv into this directory")
+		svgDir   = flag.String("svgdir", "", "also render sweep experiments as <ID>.svg into this directory")
+		platName = flag.String("platform", "", "platform preset (default stm32h743)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expr.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := expr.DefaultConfig()
+	if *quick {
+		cfg = expr.QuickConfig()
+	}
+	if *sets > 0 {
+		cfg.Sets = *sets
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *platName != "" {
+		p, err := cost.PlatformByName(*platName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Platform = p
+	}
+
+	var exps []expr.Experiment
+	switch {
+	case *all:
+		exps = expr.All()
+	case *expID != "":
+		e, err := expr.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []expr.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "rtmdm-bench: pass -exp <ID>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for i, e := range exps {
+		start := time.Now()
+		tb, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if *csv {
+			tb.CSV(os.Stdout)
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			tb.Fprint(os.Stdout)
+			fmt.Printf("  (%.1fs)\n", time.Since(start).Seconds())
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*outDir, e.ID+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			tb.CSV(f)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *svgDir != "" {
+			ch, err := plot.FromTable(e.ID+" — "+tb.Title, tb.Columns, tb.Rows)
+			if err == nil { // tables without a numeric x axis are skipped
+				if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+					fatal(err)
+				}
+				f, err := os.Create(filepath.Join(*svgDir, e.ID+".svg"))
+				if err != nil {
+					fatal(err)
+				}
+				if err := ch.Render(f); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,283 @@
+// Command rtmdm-dse explores the hardware/software design space of an
+// RT-MDM deployment: it sweeps the staging-SRAM partition, prefetch depth,
+// preemption granularity δ and DMA chunk size over a workload, runs the
+// full offline pipeline at every grid point, and reports the Pareto
+// frontier between staging cost and guaranteed timing margin plus a
+// recommended configuration.
+//
+// Usage:
+//
+//	rtmdm-dse -n 4 -util 0.6 [-platform stm32h743] [-alpha 1.1]
+//	rtmdm-dse -scenario deploy.json -staging 64,128,192 -delta 0.5,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/dse"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/scenario"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/workload"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "stm32h743", "platform preset")
+		scenPath = flag.String("scenario", "", "scenario JSON describing the workload (overrides -n/-util)")
+		n        = flag.Int("n", 4, "tasks in the synthetic workload")
+		util     = flag.Float64("util", 0.6, "target utilization of the synthetic workload")
+		seed     = flag.Int64("seed", 20240601, "random seed for the synthetic workload")
+		staging  = flag.String("staging", "", "staging partition candidates in KiB, comma-separated (default: platform-derived)")
+		depths   = flag.String("depths", "", "prefetch depth candidates (default 2,3,4)")
+		deltas   = flag.String("delta", "", "granularity δ candidates in ms (default 0.25,0.5,1,2)")
+		chunks   = flag.String("chunks", "", "DMA chunk candidates in KiB, 0 = whole segment (default 0,8)")
+		alpha    = flag.Float64("alpha", 1.1, "target breakdown factor for the recommendation")
+		verbose  = flag.Bool("v", false, "print every grid point, not just the frontier")
+		simMs    = flag.Int64("simulate", 0, "cross-check the recommendation empirically for this many ms (0 = off)")
+		het      = flag.Bool("het", false, "also tune per-task prefetch windows at every staging/δ/chunk combination")
+		csvOut   = flag.Bool("csv", false, "emit the grid as CSV")
+	)
+	flag.Parse()
+
+	plat, err := cost.PlatformByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	spec, desc, err := buildSpec(*scenPath, plat, *n, *util, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	knobs, err := buildKnobs(plat, *staging, *depths, *deltas, *chunks)
+	if err != nil {
+		fatal(err)
+	}
+	knobs.TunePerTaskDepth = *het
+
+	res, err := dse.Explore(spec, plat, knobs)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvOut {
+		emitCSV(res)
+		return
+	}
+	fmt.Printf("workload: %s on %s — %d grid points, %d schedulable\n\n",
+		desc, plat.Name, len(res.Points), res.Schedulable())
+	if *verbose {
+		fmt.Println("grid:")
+		for _, p := range res.Points {
+			fmt.Printf("  %s\n", describe(p))
+		}
+		fmt.Println()
+	}
+	if len(res.Frontier) == 0 {
+		fmt.Println("no schedulable configuration on the grid — widen the knobs or lower the load")
+		os.Exit(2)
+	}
+	fmt.Println("Pareto frontier (staging cost vs guaranteed margin):")
+	for _, p := range res.Frontier {
+		fmt.Printf("  %s\n", describe(p))
+	}
+	if best, ok := res.Recommend(*alpha); ok {
+		fmt.Printf("\nrecommended (target α ≥ %.2f):\n  %s\n", *alpha, describe(best))
+		if *simMs > 0 {
+			if err := crossCheck(spec, plat, best, *simMs); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// crossCheck simulates the recommended configuration and reports each
+// task's observed worst response against its period — the empirical
+// counterpart of the offline certificate.
+func crossCheck(spec workload.SetSpec, plat cost.Platform, best dse.Point, horizonMs int64) error {
+	plat.WeightBufBytes = best.StagingBytes
+	pol := best.Policy()
+	set, err := spec.Instantiate(plat, pol)
+	if err != nil {
+		return err
+	}
+	r, err := exec.Run(set, plat, pol, sim.Duration(horizonMs)*sim.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nempirical cross-check over %d ms:\n", horizonMs)
+	for _, t := range set.Tasks {
+		m := r.Metrics.PerTask[t.Name]
+		fmt.Printf("  %-22s released %3d  worst response %8.3f ms  misses %d\n",
+			t.Name, m.Released, float64(m.MaxResponse)/1e6, m.Misses)
+	}
+	if r.Metrics.TotalMissRatio() > 0 {
+		return fmt.Errorf("recommended configuration missed deadlines in simulation — please report this")
+	}
+	fmt.Println("  no deadline misses — the offline certificate holds empirically")
+	return nil
+}
+
+// buildSpec resolves the workload: a scenario file's task list, or a
+// synthetic generated set.
+func buildSpec(path string, plat cost.Platform, n int, util float64, seed int64) (workload.SetSpec, string, error) {
+	if path == "" {
+		sp, err := workload.Generate(workload.Params{
+			Seed: seed, N: n, Util: util, Platform: plat,
+		})
+		return sp, fmt.Sprintf("synthetic %d tasks @ U=%.2f", n, util), err
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return workload.SetSpec{}, "", err
+	}
+	var sp workload.SetSpec
+	for _, t := range sc.Tasks {
+		if t.ModelFile != "" {
+			return sp, "", fmt.Errorf("scenario task %s uses model_file; the explorer re-segments zoo models only", t.Name)
+		}
+		s := t.Seed
+		if s == 0 {
+			s = 1
+		}
+		period := sim.Duration(t.PeriodMs * float64(sim.Millisecond))
+		deadline := period
+		if t.DeadlineMs > 0 {
+			deadline = sim.Duration(t.DeadlineMs * float64(sim.Millisecond))
+		}
+		sp.Tasks = append(sp.Tasks, workload.TaskSpec{
+			Model: t.Model, Seed: s, Period: period, Deadline: deadline,
+		})
+	}
+	return sp, fmt.Sprintf("scenario %s (%d tasks)", path, len(sc.Tasks)), nil
+}
+
+func buildKnobs(plat cost.Platform, staging, depths, deltas, chunks string) (dse.Knobs, error) {
+	k := dse.DefaultKnobs(plat)
+	var err error
+	if staging != "" {
+		if k.StagingBytes, err = parseList(staging, 1024); err != nil {
+			return k, fmt.Errorf("-staging: %w", err)
+		}
+	}
+	if depths != "" {
+		ds, err := parseList(depths, 1)
+		if err != nil {
+			return k, fmt.Errorf("-depths: %w", err)
+		}
+		k.Depths = k.Depths[:0]
+		for _, d := range ds {
+			k.Depths = append(k.Depths, int(d))
+		}
+	}
+	if deltas != "" {
+		ms, err := parseFloatList(deltas)
+		if err != nil {
+			return k, fmt.Errorf("-delta: %w", err)
+		}
+		k.GranularityNs = k.GranularityNs[:0]
+		for _, m := range ms {
+			k.GranularityNs = append(k.GranularityNs, int64(m*1e6))
+		}
+	}
+	if chunks != "" {
+		if k.ChunkBytes, err = parseList(chunks, 1024); err != nil {
+			return k, fmt.Errorf("-chunks: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// parseList parses "64,128,192" into values scaled by unit.
+func parseList(s string, unit int64) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v*unit)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func describe(p dse.Point) string {
+	depth := fmt.Sprintf("depth %d", p.Depth)
+	if p.TaskDepths != nil {
+		depth = "windows " + windowsStr(p)
+	}
+	cfg := fmt.Sprintf("staging %4d KiB  %s  δ %.2f ms  chunk %s",
+		p.StagingBytes>>10, depth, float64(p.GranularityNs)/1e6, chunkStr(p.ChunkBytes))
+	switch {
+	case p.Schedulable:
+		return fmt.Sprintf("%s  →  α %.2f  slack %.2f ms", cfg, p.Alpha, float64(p.SlackNs)/1e6)
+	case p.Feasible:
+		return fmt.Sprintf("%s  →  unschedulable (%s)", cfg, p.Reason)
+	default:
+		return fmt.Sprintf("%s  →  infeasible (%s)", cfg, p.Reason)
+	}
+}
+
+func chunkStr(b int64) string {
+	if b == 0 {
+		return "whole"
+	}
+	return fmt.Sprintf("%d KiB", b>>10)
+}
+
+func emitCSV(res *dse.Result) {
+	fmt.Println("staging_bytes,depth,granularity_ns,chunk_bytes,windows,feasible,schedulable,alpha,slack_ns,frontier,reason")
+	key := func(p dse.Point) string {
+		return fmt.Sprintf("%d/%d/%d/%d/%s", p.StagingBytes, p.Depth,
+			p.GranularityNs, p.ChunkBytes, windowsStr(p))
+	}
+	onFront := map[string]bool{}
+	for _, p := range res.Frontier {
+		onFront[key(p)] = true
+	}
+	for _, p := range res.Points {
+		fmt.Printf("%d,%d,%d,%d,%s,%t,%t,%.3f,%d,%t,%q\n",
+			p.StagingBytes, p.Depth, p.GranularityNs, p.ChunkBytes, windowsStr(p),
+			p.Feasible, p.Schedulable, p.Alpha, p.SlackNs, onFront[key(p)], p.Reason)
+	}
+}
+
+// windowsStr renders a tuned point's per-task windows ("uniform" when the
+// point ran one policy-wide depth).
+func windowsStr(p dse.Point) string {
+	if p.TaskDepths == nil {
+		return "uniform"
+	}
+	names := make([]string, 0, len(p.TaskDepths))
+	for n := range p.TaskDepths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, p.TaskDepths[n])
+	}
+	return strings.Join(parts, ";")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-dse:", err)
+	os.Exit(1)
+}

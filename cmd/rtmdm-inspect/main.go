@@ -1,0 +1,147 @@
+// Command rtmdm-inspect prints the model zoo: per-layer accounting and the
+// segmentation a platform/policy pair would produce.
+//
+// Usage:
+//
+//	rtmdm-inspect                         # zoo summary
+//	rtmdm-inspect -model ds-cnn           # per-layer detail + segments
+//	rtmdm-inspect -model ds-cnn -n 3      # segmentation for a 3-task set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/cosim"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/models"
+	"rtmdm/internal/nn"
+	"rtmdm/internal/segment"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "", "model to detail (default: zoo summary)")
+		platName   = flag.String("platform", "stm32h743", "platform preset")
+		polName    = flag.String("policy", "rt-mdm", "policy whose segmentation limits apply")
+		n          = flag.Int("n", 3, "task-set size the SRAM is shared across")
+		seed       = flag.Int64("seed", 1, "weight seed")
+		exportPath = flag.String("export", "", "write the model as a binary artifact to this path")
+		verify     = flag.Bool("verify", false, "co-simulate the segmented plan and verify bit-identical inference")
+	)
+	flag.Parse()
+
+	plat, err := cost.PlatformByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := core.PolicyByName(*polName)
+	if err != nil {
+		fatal(err)
+	}
+	lim := pol.Limits(plat, *n)
+
+	if *modelName == "" {
+		fmt.Printf("%-18s %10s %10s %10s %7s %9s %9s\n",
+			"model", "params", "MACs", "act-peak", "layers", "segments", "serial")
+		for _, info := range models.Catalog() {
+			m := info.Build(*seed)
+			pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-18s %9.1fK %9.2fM %9.1fK %7d %9d %8.2fms\n",
+				info.Name,
+				float64(m.TotalParamBytes())/1024,
+				float64(m.TotalMACs())/1e6,
+				float64(m.PeakActivationBytes())/1024,
+				m.NumLayers(), pl.NumSegments(),
+				float64(pl.SerialNs())/1e6)
+		}
+		return
+	}
+
+	m, err := models.Build(*modelName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*exportPath)
+		fmt.Printf("exported %s to %s (%d bytes)\n", m.Name, *exportPath, st.Size())
+		return
+	}
+	fmt.Printf("%s: input %v, %d layers, %.1f KiB params, %.2f M MACs\n\n",
+		m.Name, m.Input, m.NumLayers(),
+		float64(m.TotalParamBytes())/1024, float64(m.TotalMACs())/1e6)
+	fmt.Printf("%-4s %-12s %-10s %-10s %10s %12s %10s\n",
+		"#", "layer", "kind", "out", "params(B)", "MACs", "time")
+	for i, nd := range m.Nodes {
+		l := nd.Layer
+		fmt.Printf("%-4d %-12s %-10s %-10s %10d %12d %9.3fms\n",
+			i, l.Name(), l.Kind(), l.OutShape(),
+			l.ParamBytes(), l.MACs(),
+			float64(plat.CPU.LayerTimeNs(l))/1e6)
+	}
+
+	pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsegmentation on %s under %s (budget %d KiB, δ %.2f ms): %d segments\n",
+		plat.Name, pol.Name, lim.Bytes>>10, float64(lim.ComputeNs)/1e6, pl.NumSegments())
+	fmt.Printf("%-4s %-24s %10s %10s %10s\n", "seg", "nodes", "load(B)", "load", "compute")
+	for _, s := range pl.Segments {
+		first, last := s.Parts[0].Node, s.Parts[len(s.Parts)-1].Node
+		span := fmt.Sprintf("%d..%d", first, last)
+		if first == last {
+			span = fmt.Sprintf("%d", first)
+			if !s.Parts[0].Whole() {
+				span += fmt.Sprintf(" (1/%d slice)", s.Parts[0].Den)
+			}
+		}
+		fmt.Printf("%-4d %-24s %10d %9.3fms %9.3fms\n",
+			s.Index, span, s.LoadBytes,
+			float64(s.LoadNs)/1e6, float64(s.ComputeNs)/1e6)
+	}
+	fmt.Printf("\nserial %.3f ms, pipelined(depth %d) %.3f ms, speedup %.2f\n",
+		float64(pl.SerialNs())/1e6, pol.Depth,
+		float64(pl.PipelineNs(pol.Depth))/1e6,
+		float64(pl.SerialNs())/float64(pl.PipelineNs(pol.Depth)))
+
+	if *verify {
+		rng := rand.New(rand.NewSource(99))
+		x := nn.NewTensor(m.Input, m.InQuant)
+		for i := range x.Data {
+			x.Data[i] = int8(rng.Intn(255) - 127)
+		}
+		want := m.Forward(x)
+		got, err := cosim.ExecutePlan(pl, x)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				fatal(fmt.Errorf("segment-wise execution diverges at output %d", i))
+			}
+		}
+		fmt.Printf("verified: segment-wise execution bit-identical over %d outputs\n", len(want.Data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-inspect:", err)
+	os.Exit(1)
+}

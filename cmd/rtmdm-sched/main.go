@@ -1,0 +1,127 @@
+// Command rtmdm-sched sweeps schedulability over random multi-DNN task
+// sets: for each utilization point it generates sets, runs each policy's
+// offline analysis and (optionally) the empirical simulation, and prints
+// acceptance/miss fractions.
+//
+// Usage:
+//
+//	rtmdm-sched -umin 0.2 -umax 1.0 -step 0.1 -n 4 -sets 200 \
+//	            -policies serial-npfp,serial-segfp,rt-mdm [-empirical]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/workload"
+)
+
+func main() {
+	var (
+		umin      = flag.Float64("umin", 0.2, "minimum utilization")
+		umax      = flag.Float64("umax", 1.0, "maximum utilization")
+		step      = flag.Float64("step", 0.1, "utilization step")
+		n         = flag.Int("n", 4, "tasks per set")
+		sets      = flag.Int("sets", 100, "task sets per point")
+		seed      = flag.Int64("seed", 20240601, "random seed")
+		platName  = flag.String("platform", "stm32h743", "platform preset")
+		polNames  = flag.String("policies", "serial-npfp,serial-segfp,rt-mdm", "comma-separated policies")
+		empirical = flag.Bool("empirical", false, "also simulate and report sets with misses")
+		breakdown = flag.Bool("breakdown", false, "report mean breakdown factor α per policy")
+		horizonMs = flag.Int64("horizon", 400, "empirical horizon cap in ms")
+	)
+	flag.Parse()
+
+	plat, err := cost.PlatformByName(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	var pols []core.Policy
+	for _, pn := range strings.Split(*polNames, ",") {
+		p, err := core.PolicyByName(strings.TrimSpace(pn))
+		if err != nil {
+			fatal(err)
+		}
+		pols = append(pols, p)
+	}
+
+	fmt.Printf("%-6s", "util")
+	for _, p := range pols {
+		fmt.Printf("  %-14s", p.Name)
+		if *empirical {
+			fmt.Printf("  %-14s", p.Name+"(sim)")
+		}
+		if *breakdown {
+			fmt.Printf("  %-14s", p.Name+"(α)")
+		}
+	}
+	fmt.Println()
+
+	for u := *umin; u <= *umax+1e-9; u += *step {
+		fmt.Printf("%-6.2f", u)
+		for _, pol := range pols {
+			acc, missSets := 0, 0
+			alphaSum, alphaN := 0.0, 0
+			for k := 0; k < *sets; k++ {
+				spec, err := workload.Generate(workload.Params{
+					Seed: *seed + int64(k)*7907 + int64(u*1000)*13, N: *n,
+					Util: u, Platform: plat,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				set, err := spec.Instantiate(plat, pol)
+				if err != nil {
+					missSets++
+					continue
+				}
+				schedulable := false
+				if core.Provision(set, plat, pol) == nil {
+					if test, err := analysis.ForPolicy(pol); err == nil {
+						schedulable = test(set, plat).Schedulable
+						if *breakdown {
+							alphaSum += analysis.BreakdownFactor(set, plat, test, 0.02)
+							alphaN++
+						}
+					}
+				}
+				if schedulable {
+					acc++
+				}
+				if *empirical {
+					r, err := exec.Run(set, plat, pol, sim.Duration(*horizonMs)*sim.Millisecond)
+					if err != nil {
+						fatal(err)
+					}
+					if r.Metrics.AnyMiss() {
+						missSets++
+					}
+				}
+			}
+			fmt.Printf("  %-14s", fmt.Sprintf("%.1f%%", 100*float64(acc)/float64(*sets)))
+			if *empirical {
+				fmt.Printf("  %-14s", fmt.Sprintf("%.1f%%", 100*float64(missSets)/float64(*sets)))
+			}
+			if *breakdown {
+				if alphaN > 0 {
+					fmt.Printf("  %-14s", fmt.Sprintf("%.2f", alphaSum/float64(alphaN)))
+				} else {
+					fmt.Printf("  %-14s", "-")
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-sched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Command rtmdm-sim runs one multi-DNN scenario on the simulated MCU and
+// reports per-task outcomes, the schedulability verdict, an optional ASCII
+// timeline, and (optionally) the full execution trace.
+//
+// Usage:
+//
+//	rtmdm-sim -tasks "ds-cnn:50,mobilenetv1-0.25:150,autoencoder:100" \
+//	          -policy rt-mdm -horizon 600 [-platform stm32h743] [-trace] [-timeline]
+//	rtmdm-sim -config scenario.json [-timeline]
+//
+// Each task spec is model:period_ms[:deadline_ms]. JSON scenarios follow
+// internal/scenario's schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/scenario"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/task"
+	"rtmdm/internal/trace"
+)
+
+func main() {
+	var (
+		taskSpec   = flag.String("tasks", "", "comma-separated model:period_ms[:deadline_ms]")
+		configPath = flag.String("config", "", "JSON scenario file (overrides -tasks/-policy/-platform/-horizon)")
+		polName    = flag.String("policy", "rt-mdm", "scheduling policy (see -policies)")
+		policies   = flag.Bool("policies", false, "list policies and exit")
+		platName   = flag.String("platform", "stm32h743", "platform preset")
+		horizonMs  = flag.Int64("horizon", 1000, "simulation horizon in ms")
+		seed       = flag.Int64("seed", 1, "model weight seed")
+		dumpTrace  = flag.Bool("trace", false, "dump the full execution trace")
+		traceCSV   = flag.String("trace-csv", "", "write the trace as CSV to this path")
+		timeline   = flag.Bool("timeline", false, "render an ASCII Gantt timeline")
+		tlWidth    = flag.Int("timeline-width", 120, "timeline width in columns")
+	)
+	flag.Parse()
+
+	if *policies {
+		for _, n := range core.PolicyNames() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+
+	var (
+		set     *task.Set
+		plat    cost.Platform
+		pol     core.Policy
+		horizon sim.Duration
+		err     error
+	)
+	switch {
+	case *configPath != "":
+		sc, err2 := scenario.Load(*configPath)
+		if err2 != nil {
+			fatal(err2)
+		}
+		set, plat, pol, err = sc.Build()
+		if err != nil {
+			fatal(err)
+		}
+		horizon = sc.Horizon()
+	case *taskSpec != "":
+		specs, err2 := scenario.ParseTaskList(*taskSpec, *seed)
+		if err2 != nil {
+			fatal(err2)
+		}
+		sc := &scenario.Scenario{
+			Platform:  *platName,
+			Policy:    *polName,
+			HorizonMs: float64(*horizonMs),
+			Tasks:     specs,
+		}
+		set, plat, pol, err = sc.Build()
+		if err != nil {
+			// Provisioning and validation errors are fatal except for
+			// deliberate over-provisioning experiments, where the message
+			// suffices.
+			fatal(err)
+		}
+		horizon = sc.Horizon()
+	default:
+		fmt.Fprintln(os.Stderr, "rtmdm-sim: pass -tasks or -config")
+		os.Exit(2)
+	}
+
+	fmt.Printf("platform %s, policy %s, horizon %v\n", plat.Name, pol.Name, horizon)
+	fmt.Printf("reference utilization: cpu %.3f, dma %.3f, serial %.3f\n\n",
+		set.CPUUtilization(), set.DMAUtilization(), set.SerialUtilization())
+
+	if test, err := analysis.ForPolicy(pol); err == nil {
+		v := test(set, plat)
+		fmt.Printf("offline analysis (%s): schedulable=%v", v.Test, v.Schedulable)
+		if v.Reason != "" {
+			fmt.Printf(" (%s)", v.Reason)
+		}
+		fmt.Println()
+		for _, t := range set.ByPriority() {
+			if r, ok := v.WCRT[t.Name]; ok {
+				fmt.Printf("  %-24s prio %d  WCRT %-12v D %v\n", t.Name, t.Priority, r, t.Deadline)
+			}
+		}
+	} else {
+		fmt.Printf("offline analysis: %v\n", err)
+	}
+
+	r, err := exec.Run(set, plat, pol, horizon)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsimulation (%d trace events):\n", r.Trace.Len())
+	fmt.Printf("  cpu busy %.1f%%, dma busy %.1f%%, sram peak %d B\n",
+		100*r.CPUUtilization(), 100*r.DMAUtilization(), r.SRAMPeak)
+	fmt.Printf("  flash read %.1f KiB, energy %.2f mJ, avg power %.1f mW\n",
+		float64(r.FlashBytes)/1024, r.EnergyMicroJ/1000, r.AvgPowerMw)
+	for _, t := range set.ByPriority() {
+		tm := r.Metrics.PerTask[t.Name]
+		fmt.Printf("  %-24s jobs %3d/%3d  max %-12v p95 %-12v avg %-12v miss %.1f%%\n",
+			t.Name, tm.Completed, tm.Released, tm.MaxResponse, tm.Percentile(95),
+			tm.AvgResponse(), 100*tm.MissRatio())
+	}
+	if *timeline {
+		// Show up to two periods of the slowest task (capped to horizon).
+		var maxT sim.Duration
+		for _, t := range set.Tasks {
+			if t.Period > maxT {
+				maxT = t.Period
+			}
+		}
+		window := 2 * maxT
+		if window > horizon {
+			window = horizon
+		}
+		fmt.Println()
+		if err := (trace.Timeline{From: 0, To: window, Width: *tlWidth}).Render(os.Stdout, r.Trace, r.Infos); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Trace.CSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (%d events)\n", *traceCSV, r.Trace.Len())
+	}
+	if *dumpTrace {
+		fmt.Println("\ntrace:")
+		r.Trace.Dump(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-sim:", err)
+	os.Exit(1)
+}

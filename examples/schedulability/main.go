@@ -1,0 +1,61 @@
+// Schedulability study: generate random multi-DNN workloads across a
+// utilization sweep and compare the offline acceptance of the three main
+// policies — a miniature of the paper's headline figure, runnable in
+// seconds.
+//
+//	go run ./examples/schedulability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtmdm"
+)
+
+func main() {
+	plat := rtmdm.DefaultPlatform()
+	policies := rtmdm.ComparisonSet()
+	const setsPerPoint = 40
+	const tasksPerSet = 4
+
+	fmt.Printf("random %d-task sets on %s, %d sets per point\n\n", tasksPerSet, plat.Name, setsPerPoint)
+	fmt.Printf("%-6s", "util")
+	for _, p := range policies {
+		fmt.Printf("  %-14s", p.Name)
+	}
+	fmt.Println()
+
+	for _, u := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		fmt.Printf("%-6.1f", u)
+		for _, pol := range policies {
+			accepted := 0
+			for k := 0; k < setsPerPoint; k++ {
+				spec, err := rtmdm.GenerateWorkload(rtmdm.WorkloadParams{
+					Seed:     int64(k)*7907 + int64(u*1000),
+					N:        tasksPerSet,
+					Util:     u,
+					Platform: plat,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				set, err := spec.Instantiate(plat, pol)
+				if err != nil {
+					continue
+				}
+				v, err := rtmdm.Analyze(set, plat, pol)
+				if err == nil && v.Schedulable {
+					accepted++
+				}
+			}
+			fmt.Printf("  %-14s", fmt.Sprintf("%.0f%%", 100*float64(accepted)/setsPerPoint))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading: whole-job non-preemption collapses early (a single slow DNN")
+	fmt.Println("job blocks every deadline beneath it); segment preemption recovers most")
+	fmt.Println("sets; RT-MDM's prefetch pipeline adds the final margin by removing the")
+	fmt.Println("external-memory stall time from every job's demand.")
+}

@@ -1,0 +1,43 @@
+// Timeline: visualize what RT-MDM actually changes on the wire — render
+// ASCII Gantt charts of the same two-DNN workload under the serial
+// non-preemptive baseline and under RT-MDM, side by side.
+//
+//	go run ./examples/timeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtmdm"
+)
+
+func main() {
+	plat := rtmdm.DefaultPlatform()
+	for _, pol := range []rtmdm.Policy{rtmdm.SerialNPFP(), rtmdm.RTMDM()} {
+		set, err := rtmdm.NewSystem(plat, pol).
+			AddTask("kws", "ds-cnn", 50*rtmdm.Millisecond).
+			AddTask("anomaly", "autoencoder", 100*rtmdm.Millisecond).
+			Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rtmdm.Simulate(set, plat, pol, 300*rtmdm.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", pol.Name)
+		if err := rtmdm.RenderTimeline(os.Stdout, res, 0, 100*rtmdm.Millisecond, 110); err != nil {
+			log.Fatal(err)
+		}
+		kws := res.Metrics.PerTask["kws"]
+		an := res.Metrics.PerTask["anomaly"]
+		fmt.Printf("kws max response %v, anomaly max response %v\n\n", kws.MaxResponse, an.MaxResponse)
+	}
+	fmt.Println("reading: under the serial baseline the CPU idles (dots) whenever the")
+	fmt.Println("DMA streams parameters, and the urgent keyword spotter waits behind the")
+	fmt.Println("whole anomaly job. Under RT-MDM the lowercase (DMA) lane runs *underneath*")
+	fmt.Println("the uppercase (CPU) lane — loads hide behind computes — and preemption")
+	fmt.Println("happens at segment boundaries.")
+}

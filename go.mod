@@ -1,0 +1,3 @@
+module rtmdm
+
+go 1.22

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/models"
+	"rtmdm/internal/segment"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/task"
+)
+
+func TestNamedPoliciesValidate(t *testing.T) {
+	pols := []Policy{
+		RTMDM(), RTMDMDepth(3), RTMDMEDF(), RTMDMFIFODMA(), RTMDMChunked(4 << 10),
+		SerialNPFP(), SerialSegFP(), SerialSegEDF(),
+	}
+	seen := map[string]bool{}
+	for _, p := range pols {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate policy name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestPolicyShape(t *testing.T) {
+	p := RTMDM()
+	if p.JobLevelNP || p.Depth != 2 || p.EDF || !p.PrefetchAcrossJobs || p.DMA != DMAPriority {
+		t.Fatalf("RTMDM misconfigured: %+v", p)
+	}
+	b1 := SerialNPFP()
+	if !b1.JobLevelNP || b1.Depth != 1 || b1.PrefetchAcrossJobs {
+		t.Fatalf("SerialNPFP misconfigured: %+v", b1)
+	}
+	b2 := SerialSegFP()
+	if b2.JobLevelNP || b2.Depth != 1 {
+		t.Fatalf("SerialSegFP misconfigured: %+v", b2)
+	}
+	if !RTMDMEDF().EDF {
+		t.Fatal("RTMDMEDF not EDF")
+	}
+	if RTMDMFIFODMA().DMA != DMAFIFO {
+		t.Fatal("RTMDMFIFODMA not FIFO")
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	bad := Policy{Name: "x", Depth: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	bad = Policy{Name: "", Depth: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = Policy{Name: "x", Depth: 2, JobLevelNP: true, PrefetchAcrossJobs: true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NP + cross-job prefetch accepted")
+	}
+	bad = Policy{Name: "x", Depth: 2, ChunkBytes: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative chunk size accepted")
+	}
+}
+
+func TestComparisonSetOrder(t *testing.T) {
+	cs := ComparisonSet()
+	if len(cs) != 3 || cs[0].Name != "serial-npfp" || cs[2].Name != "rt-mdm" {
+		t.Fatalf("comparison set %v", cs)
+	}
+}
+
+func mkSet(t *testing.T, budget int64, names ...string) *task.Set {
+	t.Helper()
+	var ts []*task.Task
+	for i, n := range names {
+		m, err := models.Build(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := segment.Build(m, cost.STM32H743, budget, segment.Greedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, &task.Task{
+			Name: n, Plan: pl,
+			Period:   sim.Duration(100+50*i) * sim.Millisecond,
+			Deadline: sim.Duration(100+50*i) * sim.Millisecond,
+			Priority: i,
+		})
+	}
+	return task.NewSet(ts...)
+}
+
+func TestProvisionAcceptsBudgetedSet(t *testing.T) {
+	pol := RTMDM()
+	n := 3
+	budget := SegmentBudget(cost.STM32H743, n, pol)
+	s := mkSet(t, budget, "ds-cnn", "lenet5", "tinymlp")
+	if err := Provision(s, cost.STM32H743, pol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionRejectsOversizedSet(t *testing.T) {
+	pol := RTMDM()
+	// Segment with the full weight buffer per segment: 3 tasks at depth 2
+	// cannot fit.
+	s := mkSet(t, cost.STM32H743.WeightBufBytes, "mobilenetv1-0.25", "autoencoder", "resnet8")
+	err := Provision(s, cost.STM32H743, pol)
+	if err == nil || !strings.Contains(err.Error(), "staging SRAM") {
+		t.Fatalf("want staging SRAM error, got %v", err)
+	}
+}
+
+func TestProvisionSerialOnlyNeedsTwoBuffers(t *testing.T) {
+	// Serial policies share staging SRAM, so even large per-task segments
+	// provision as long as ~2 of the largest fit.
+	pol := SerialSegFP()
+	budget := SegmentBudget(cost.STM32H743, 3, pol)
+	s := mkSet(t, budget, "mobilenetv1-0.25", "autoencoder", "resnet8")
+	if err := Provision(s, cost.STM32H743, pol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentBudgetScalesWithTasks(t *testing.T) {
+	p := RTMDM()
+	b2 := SegmentBudget(cost.STM32H743, 2, p)
+	b4 := SegmentBudget(cost.STM32H743, 4, p)
+	if b4 >= b2 {
+		t.Fatalf("budget should shrink with task count: n=2 %d, n=4 %d", b2, b4)
+	}
+	if b2 != cost.STM32H743.WeightBufBytes/4 {
+		t.Fatalf("n=2 depth=2 budget = %d", b2)
+	}
+	serial := SegmentBudget(cost.STM32H743, 4, SerialSegFP())
+	if serial != cost.STM32H743.WeightBufBytes/2 {
+		t.Fatalf("serial budget = %d", serial)
+	}
+}
+
+func TestMaxBufferBytesCapsAtSegmentCount(t *testing.T) {
+	s := mkSet(t, 256<<10, "tinymlp") // few segments
+	tk := s.Tasks[0]
+	deep := RTMDMDepth(64)
+	if got := MaxBufferBytes(tk, deep); got != int64(tk.NumSegments())*tk.Plan.MaxLoadBytes() {
+		t.Fatalf("MaxBufferBytes with depth > segments = %d", got)
+	}
+}
+
+func TestDMAOrderString(t *testing.T) {
+	if DMAPriority.String() != "priority" || DMAFIFO.String() != "fifo" {
+		t.Fatal("DMAOrder strings wrong")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, n := range PolicyNames() {
+		p, err := PolicyByName(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if p.Name != n {
+			t.Errorf("resolved %q as %q", n, p.Name)
+		}
+	}
+	p, err := PolicyByName("rt-mdm-d4")
+	if err != nil || p.Depth != 4 {
+		t.Fatalf("depth variant: %+v, %v", p, err)
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("unknown policy resolved")
+	}
+}
+
+func TestPerTaskDepthResolution(t *testing.T) {
+	p := RTMDMPerTaskDepth(map[string]int{"kws": 4, "det": 1})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth != 4 {
+		t.Fatalf("base depth %d, want max override 4", p.Depth)
+	}
+	if p.MaxSegNs != DefaultGranularityNs/4 {
+		t.Fatalf("δ %d not derived from the deepest window", p.MaxSegNs)
+	}
+	for name, want := range map[string]int{"kws": 4, "det": 1, "other": 4} {
+		if got := p.DepthFor(name); got != want {
+			t.Errorf("DepthFor(%s) = %d, want %d", name, got, want)
+		}
+	}
+	// Empty map still behaves.
+	if d := RTMDM().DepthFor("any"); d != 2 {
+		t.Fatalf("uniform policy DepthFor = %d", d)
+	}
+}
+
+func TestPerTaskDepthValidation(t *testing.T) {
+	bad := SerialSegFP()
+	bad.TaskDepth = map[string]int{"a": 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("per-task depths accepted without cross-job prefetching")
+	}
+	neg := RTMDMPerTaskDepth(map[string]int{"a": 0})
+	neg.TaskDepth["a"] = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative per-task depth accepted")
+	}
+}
+
+// mkDepthTask builds a synthetic four-segment task whose segments each
+// stage segBytes, for provisioning arithmetic tests.
+func mkDepthTask(name string, period sim.Duration, prio int, segBytes int64) *task.Task {
+	pl := &segment.Plan{Platform: cost.STM32H743, BudgetBytes: segBytes}
+	for i := 0; i < 4; i++ {
+		pl.Segments = append(pl.Segments, segment.Segment{
+			Index:     i,
+			Parts:     []segment.Part{{Node: i, Num: 1, Den: 1}},
+			LoadBytes: segBytes,
+			ComputeNs: 1000,
+			LoadNs:    cost.STM32H743.Mem.TransferNs(segBytes),
+		})
+	}
+	return &task.Task{Name: name, Plan: pl, Period: period, Deadline: period, Priority: prio}
+}
+
+func TestPerTaskDepthProvisioning(t *testing.T) {
+	plat := cost.STM32H743
+	deep := mkDepthTask("deep", 40*sim.Millisecond, 0, 3000)
+	shallow := mkDepthTask("shallow", 60*sim.Millisecond, 1, 3000)
+	s := task.NewSet(deep, shallow)
+
+	het := RTMDMPerTaskDepth(map[string]int{"deep": 4, "shallow": 2})
+	if got := MaxBufferBytes(deep, het); got != 4*3000 {
+		t.Fatalf("deep buffer %d, want 12000", got)
+	}
+	if got := MaxBufferBytes(shallow, het); got != 2*3000 {
+		t.Fatalf("shallow buffer %d, want 6000", got)
+	}
+	// 12000 + 6000 = 18000: fits a 20 KB buffer where uniform depth 4
+	// (24000) does not.
+	plat.WeightBufBytes = 20_000
+	if err := Provision(s, plat, het); err != nil {
+		t.Fatalf("heterogeneous provisioning failed: %v", err)
+	}
+	if err := Provision(s, plat, RTMDMDepth(4)); err == nil {
+		t.Fatal("uniform depth-4 provisioning unexpectedly fit")
+	}
+}

@@ -1,0 +1,96 @@
+// Package cosim executes a segmentation plan *functionally*: it runs the
+// model's actual int8 kernels segment by segment, slicing fractionally
+// split layers along their output channels exactly as the staged parameter
+// chunks would arrive from external memory. Its purpose is the correctness
+// half of the reproduction's trust story: segment-wise execution must be
+// bit-identical to whole-model execution, for every model, budget and
+// preemption granularity (property test in cosim_test.go).
+package cosim
+
+import (
+	"fmt"
+
+	"rtmdm/internal/nn"
+	"rtmdm/internal/segment"
+)
+
+// ExecutePlan runs one inference through the plan's segments in order,
+// returning the model output. It fails on plans without an attached model
+// (synthetic test plans) or with parts whose layer kind cannot execute
+// partially.
+func ExecutePlan(pl *segment.Plan, input *nn.Tensor) (*nn.Tensor, error) {
+	m := pl.Model
+	if m == nil {
+		return nil, fmt.Errorf("cosim: plan has no model attached")
+	}
+	if input.Shape != m.Input {
+		return nil, fmt.Errorf("cosim: input %v, want %v", input.Shape, m.Input)
+	}
+	outputs := make([]*nn.Tensor, len(m.Nodes))
+	get := func(i int) *nn.Tensor {
+		if i == -1 {
+			return input
+		}
+		return outputs[i]
+	}
+	gather := func(node int) ([]*nn.Tensor, error) {
+		nd := m.Nodes[node]
+		ins := make([]*nn.Tensor, len(nd.Inputs))
+		for k, in := range nd.Inputs {
+			t := get(in)
+			if t == nil {
+				return nil, fmt.Errorf("cosim: node %d needs node %d before it ran", node, in)
+			}
+			ins[k] = t
+		}
+		return ins, nil
+	}
+	piecesSeen := map[int]int{}
+
+	for _, seg := range pl.Segments {
+		for _, part := range seg.Parts {
+			nd := m.Nodes[part.Node]
+			l := nd.Layer
+			if part.Whole() {
+				ins, err := gather(part.Node)
+				if err != nil {
+					return nil, err
+				}
+				outputs[part.Node] = l.Forward(ins...)
+				continue
+			}
+			// Fractional part: piece k of part.Den equal channel shares.
+			k := piecesSeen[part.Node]
+			piecesSeen[part.Node]++
+			outC := l.OutShape().C
+			from := outC * k / int(part.Den)
+			to := outC * (k + 1) / int(part.Den)
+			if outputs[part.Node] == nil {
+				outputs[part.Node] = nn.NewTensor(l.OutShape(), l.OutQuant())
+			}
+			if from == to {
+				continue // more pieces than channels: this chunk is pure padding
+			}
+			ins, err := gather(part.Node)
+			if err != nil {
+				return nil, err
+			}
+			switch lt := l.(type) {
+			case *nn.Conv2D:
+				nn.PlaceChannels(outputs[part.Node], nn.SliceConv2D(lt, from, to).Forward(ins[0]), from)
+			case *nn.Dense:
+				nn.PlaceChannels(outputs[part.Node], nn.SliceDense(lt, from, to).Forward(ins[0]), from)
+			case *nn.DWConv2D:
+				sub := nn.SliceDWConv2D(lt, from, to)
+				nn.PlaceChannels(outputs[part.Node], sub.Forward(nn.SliceChannels(ins[0], from, to)), from)
+			default:
+				return nil, fmt.Errorf("cosim: layer %s (%s) cannot execute partially", l.Name(), l.Kind())
+			}
+		}
+	}
+	out := outputs[m.Output]
+	if out == nil {
+		return nil, fmt.Errorf("cosim: plan never produced the model output")
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package cosim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/models"
+	"rtmdm/internal/nn"
+	"rtmdm/internal/segment"
+)
+
+func randInput(m *nn.Model, seed int64) *nn.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := nn.NewTensor(m.Input, m.InQuant)
+	for i := range x.Data {
+		x.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	return x
+}
+
+// The keystone equivalence property: for every zoo model and a spread of
+// staging budgets and preemption granularities, executing the segmented
+// plan reproduces whole-model inference bit-for-bit — the segmenter and
+// the kernel slicer together provably preserve semantics.
+func TestSegmentedExecutionIsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo cosim in -short mode")
+	}
+	plat := cost.STM32H743
+	limits := []segment.Limits{
+		{Bytes: 8 << 10},
+		{Bytes: 32 << 10, ComputeNs: 1_000_000},
+		{Bytes: 128 << 10, ComputeNs: 250_000},
+	}
+	for _, info := range models.Catalog() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			m := info.Build(42)
+			x := randInput(m, 7)
+			want := m.Forward(x)
+			for _, lim := range limits {
+				pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+				if err != nil {
+					t.Fatalf("limits %+v: %v", lim, err)
+				}
+				got, err := ExecutePlan(pl, x)
+				if err != nil {
+					t.Fatalf("limits %+v: %v", lim, err)
+				}
+				if got.Shape != want.Shape {
+					t.Fatalf("limits %+v: shape %v, want %v", lim, got.Shape, want.Shape)
+				}
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("limits %+v (%d segments): output diverges at %d: %d vs %d",
+							lim, pl.NumSegments(), i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPerLayerPolicyAlsoEquivalent(t *testing.T) {
+	plat := cost.STM32H743
+	m := models.LeNet5(3)
+	x := randInput(m, 9)
+	want := m.Forward(x)
+	pl, err := segment.BuildLimits(m, plat, segment.Limits{Bytes: 16 << 10}, segment.PerLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecutePlan(pl, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("per-layer plan diverges")
+		}
+	}
+}
+
+func TestHeavySplittingManyPieces(t *testing.T) {
+	// A 2 KiB budget splits dense layers into dozens of pieces, exercising
+	// the empty-piece (more chunks than channels) path.
+	plat := cost.STM32H743
+	m := models.Autoencoder(5)
+	x := randInput(m, 11)
+	want := m.Forward(x)
+	pl, err := segment.BuildLimits(m, plat, segment.Limits{Bytes: 2 << 10}, segment.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumSegments() < 100 {
+		t.Fatalf("expected heavy splitting, got %d segments", pl.NumSegments())
+	}
+	got, err := ExecutePlan(pl, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("heavily split plan diverges")
+		}
+	}
+}
+
+func TestExecutePlanRejectsBadInputs(t *testing.T) {
+	plat := cost.STM32H743
+	m := models.TinyMLP(1)
+	pl, err := segment.BuildLimits(m, plat, segment.Limits{Bytes: 64 << 10}, segment.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := nn.NewTensor(nn.Shape{H: 2, W: 2, C: 2}, m.InQuant)
+	if _, err := ExecutePlan(pl, wrong); err == nil {
+		t.Fatal("wrong input shape accepted")
+	}
+	noModel := &segment.Plan{Segments: pl.Segments}
+	if _, err := ExecutePlan(noModel, randInput(m, 1)); err == nil {
+		t.Fatal("model-less plan accepted")
+	}
+}

@@ -1,0 +1,258 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtmdm/internal/models"
+	"rtmdm/internal/nn"
+	"rtmdm/internal/uarch"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if err := NoContention().Validate(); err != nil {
+		t.Errorf("NoContention: %v", err)
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	p, err := PlatformByName("stm32h743")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU.Hz != 480_000_000 {
+		t.Fatalf("wrong preset resolved: %+v", p.CPU)
+	}
+	if _, err := PlatformByName("z80"); err == nil {
+		t.Fatal("unknown platform did not error")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []Platform{
+		func() Platform { p := STM32H743; p.CPU.Hz = 0; return p }(),
+		func() Platform { p := STM32H743; p.Mem.BandwidthBps = 0; return p }(),
+		func() Platform { p := STM32H743; p.SRAMBytes = 0; return p }(),
+		func() Platform { p := STM32H743; p.WeightBufBytes = p.SRAMBytes + 1; return p }(),
+		func() Platform { p := STM32H743; p.Bus.CPUNum = 11; return p }(), // speed-up forbidden
+		func() Platform { p := STM32H743; p.Bus.DMADen = 0; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestTransferNs(t *testing.T) {
+	m := MemProfile{Name: "m", BandwidthBps: 1 << 20, SetupNs: 1000} // 1 MiB/s
+	if got := m.TransferNs(0); got != 0 {
+		t.Fatalf("zero-byte transfer cost %d", got)
+	}
+	// 1 MiB at 1 MiB/s = 1 s plus setup.
+	if got := m.TransferNs(1 << 20); got != 1_000_000_000+1000 {
+		t.Fatalf("TransferNs(1MiB) = %d", got)
+	}
+	// Transfer time is monotone in size.
+	if m.TransferNs(100) >= m.TransferNs(200) {
+		t.Fatal("transfer time not monotone")
+	}
+}
+
+func TestLayerCyclesUsesKindEfficiency(t *testing.T) {
+	p := CortexM7_480
+	p.DCache = uarch.Cache{} // isolate the throughput term
+	rng := rand.New(rand.NewSource(1))
+	in := nn.Shape{H: 16, W: 16, C: 8}
+	w := make([]int8, 8*3*3*8)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	conv := nn.NewConv2D("c", in, 8, 3, 3, 1, nn.PadSame,
+		nn.QuantParams{Scale: 0.05}, nn.QuantParams{Scale: 0.01}, nn.QuantParams{Scale: 0.1},
+		w, make([]int32, 8), true)
+	cycles := p.LayerCycles(conv)
+	macs := conv.MACs()
+	eff := p.MACsPerCycle[nn.KindConv2D]
+	want := int64(float64(macs)/eff) + p.LayerOverheadCycles
+	// Allow ceil slack of 1.
+	if cycles < want || cycles > want+1 {
+		t.Fatalf("LayerCycles = %d, want ≈ %d", cycles, want)
+	}
+}
+
+func TestLayerTimeScalesWithClock(t *testing.T) {
+	m := models.DSCNN(1)
+	slow, fast := CortexM7_216, CortexM7_480
+	slow.DCache, fast.DCache = uarch.Cache{}, uarch.Cache{}
+	var tSlow, tFast int64
+	for _, nd := range m.Nodes {
+		tSlow += slow.LayerTimeNs(nd.Layer)
+		tFast += fast.LayerTimeNs(nd.Layer)
+	}
+	// With caches disabled, 480/216 ≈ 2.22× pure clock scaling.
+	ratio := float64(tSlow) / float64(tFast)
+	if ratio < 2.0 || ratio > 2.5 {
+		t.Fatalf("clock scaling ratio = %.3f, want ≈ 2.22", ratio)
+	}
+	// With the presets' caches (4 KiB vs 16 KiB) the smaller cache
+	// amplifies the gap beyond pure clock scaling.
+	var cSlow, cFast int64
+	for _, nd := range m.Nodes {
+		cSlow += CortexM7_216.LayerTimeNs(nd.Layer)
+		cFast += CortexM7_480.LayerTimeNs(nd.Layer)
+	}
+	if cached := float64(cSlow) / float64(cFast); cached <= ratio {
+		t.Fatalf("cache model did not amplify the clock gap: %.3f vs %.3f", cached, ratio)
+	}
+}
+
+func TestDCacheSweepIsMonotone(t *testing.T) {
+	// Larger caches never slow a model down; a disabled cache is fastest
+	// (zero-wait-state idealization).
+	m := models.MobileNetV1Q25(1)
+	prev := int64(-1)
+	for _, size := range []int64{64 << 10, 16 << 10, 4 << 10, 1 << 10} {
+		p := STM32H743.WithDCache(size)
+		var ns int64
+		for _, nd := range m.Nodes {
+			ns += p.CPU.LayerTimeNs(nd.Layer)
+		}
+		if prev >= 0 && ns < prev {
+			t.Fatalf("smaller cache %d got faster: %d < %d", size, ns, prev)
+		}
+		prev = ns
+	}
+	noCache := STM32H743.WithDCache(0)
+	var base int64
+	for _, nd := range m.Nodes {
+		base += noCache.CPU.LayerTimeNs(nd.Layer)
+	}
+	if base > prev {
+		t.Fatal("disabled cache slower than 1 KiB cache")
+	}
+}
+
+func TestModelLatencyMagnitudes(t *testing.T) {
+	// Sanity-anchor: MLPerf-Tiny class models take single-digit to
+	// low-hundreds of milliseconds on Cortex-M class parts. Check compute
+	// time (no loads) for the zoo on the default platform is in
+	// [0.1 ms, 500 ms].
+	p := STM32H743.CPU
+	for _, info := range models.Catalog() {
+		m := info.Build(1)
+		var ns int64
+		for _, nd := range m.Nodes {
+			ns += p.LayerTimeNs(nd.Layer)
+		}
+		if ns < 100_000 || ns > 500_000_000 {
+			t.Errorf("%s: compute %.3f ms out of plausible range", info.Name, float64(ns)/1e6)
+		}
+	}
+}
+
+func TestLoadVsComputeBalance(t *testing.T) {
+	// The autoencoder is parameter-heavy: on QSPI flash its parameter
+	// load time must exceed its compute time (that is what motivates
+	// prefetch overlap). For ResNet-8 compute dominates.
+	p := STM32H743
+	ae := models.Autoencoder(1)
+	rn := models.ResNet8(1)
+	ld := func(m *nn.Model) int64 { return p.Mem.TransferNs(m.TotalParamBytes()) }
+	cp := func(m *nn.Model) int64 {
+		var ns int64
+		for _, nd := range m.Nodes {
+			ns += p.CPU.LayerTimeNs(nd.Layer)
+		}
+		return ns
+	}
+	if ld(ae) < cp(ae) {
+		t.Errorf("autoencoder: load %.3fms < compute %.3fms; expected load-bound",
+			float64(ld(ae))/1e6, float64(cp(ae))/1e6)
+	}
+	if ld(rn) > cp(rn) {
+		t.Errorf("resnet8: load %.3fms > compute %.3fms; expected compute-bound",
+			float64(ld(rn))/1e6, float64(cp(rn))/1e6)
+	}
+}
+
+func TestCyclesToNsRoundsUp(t *testing.T) {
+	p := CPUProfile{Name: "x", Hz: 3, DefaultMACsPerCycle: 1} // 3 Hz: 1 cycle = 333333333.3 ns
+	if got := p.CyclesToNs(1); got != 333333334 {
+		t.Fatalf("CyclesToNs(1) = %d, want 333333334", got)
+	}
+}
+
+// Property: transfer time is additive-superadditive: splitting a transfer
+// into two never gets cheaper than one combined transfer (the setup cost is
+// paid per transfer).
+func TestPropertyTransferSplitNeverCheaper(t *testing.T) {
+	m := QSPIFlash64
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(1<<24)), int64(b%(1<<24))
+		if x == 0 || y == 0 {
+			return true
+		}
+		return m.TransferNs(x)+m.TransferNs(y) >= m.TransferNs(x+y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchCostConfig(t *testing.T) {
+	p := STM32H743.WithSwitchCost(9999)
+	if p.CPU.SwitchNs != 9999 || STM32H743.CPU.SwitchNs == 9999 {
+		t.Fatal("WithSwitchCost must copy, not mutate")
+	}
+	bad := STM32H743
+	bad.CPU.SwitchNs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative switch cost accepted")
+	}
+	for _, plat := range Platforms() {
+		if plat.CPU.SwitchNs <= 0 {
+			t.Errorf("%s: preset should model a context-switch cost", plat.Name)
+		}
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	p := STM32H743.WithWeightBuf(100)
+	if p.WeightBufBytes != 100 || STM32H743.WeightBufBytes == 100 {
+		t.Fatal("WithWeightBuf must copy, not mutate")
+	}
+	q := STM32H743.WithBandwidth(1234)
+	if q.Mem.BandwidthBps != 1234 || STM32H743.Mem.BandwidthBps == 1234 {
+		t.Fatal("WithBandwidth must copy, not mutate")
+	}
+}
+
+func TestEnergyProfile(t *testing.T) {
+	e := EnergyProfile{CPUActiveMw: 100, IdleMw: 10, DMAActiveMw: 20, FlashReadNjPerByte: 2}
+	// 1 s horizon, 0.5 s CPU, 0.25 s DMA, 1 MB flash:
+	// idle 10 mW·1 s = 10 mJ = 10000 µJ; cpu 100·0.5 = 50 mJ; dma 20·0.25 = 5 mJ;
+	// flash 2 nJ × 1e6 B = 2 mJ → 67 mJ = 67000 µJ.
+	got := e.EnergyMicroJ(1e9, 5e8, 25e7, 1_000_000)
+	if got < 66999 || got > 67001 {
+		t.Fatalf("EnergyMicroJ = %v, want 67000", got)
+	}
+	if (EnergyProfile{}).EnergyMicroJ(1e9, 1e9, 1e9, 1e9) != 0 {
+		t.Fatal("zero profile should cost nothing")
+	}
+	bad := EnergyProfile{CPUActiveMw: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	for _, p := range Platforms() {
+		if p.Energy.CPUActiveMw <= 0 {
+			t.Errorf("%s: preset lacks an energy profile", p.Name)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+// Package exec runs a multi-DNN task set on the simulated MCU platform
+// under a core.Policy, in virtual time. It is the runtime half of the
+// RT-MDM framework: releases periodic jobs, stages segment parameters
+// through the DMA engine, dispatches segment computes on the CPU, and
+// records everything in a trace for metrics and invariant checking.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/platform"
+	"rtmdm/internal/segment"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/task"
+	"rtmdm/internal/trace"
+)
+
+// Result is everything one simulation run produces.
+type Result struct {
+	Trace   *trace.Trace
+	Metrics *trace.Metrics
+	Infos   []trace.TaskInfo
+	Horizon sim.Time
+	// CPUBusyNs and DMABusyNs are pure work nanoseconds (at unit rate).
+	CPUBusyNs int64
+	DMABusyNs int64
+	// SRAMPeak is the high-water mark of staged parameter bytes.
+	SRAMPeak int64
+	// ActivationPeak is the high-water mark of activation bytes resident
+	// at any instant: the running job's in-segment working set plus every
+	// preempted job's parked boundary state.
+	ActivationPeak int64
+	// FlashBytes is the total parameter volume read from external memory.
+	FlashBytes int64
+	// EnergyMicroJ is the window's energy estimate from the platform's
+	// energy profile (idle floor + CPU/DMA activity + flash reads).
+	EnergyMicroJ float64
+	// AvgPowerMw is EnergyMicroJ over the horizon.
+	AvgPowerMw float64
+}
+
+// CPUUtilization is the fraction of the horizon the CPU computed.
+func (r *Result) CPUUtilization() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return float64(r.CPUBusyNs) / float64(r.Horizon)
+}
+
+// DMAUtilization is the fraction of the horizon the DMA transferred.
+func (r *Result) DMAUtilization() float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return float64(r.DMABusyNs) / float64(r.Horizon)
+}
+
+// job is one released inference instance.
+type job struct {
+	rt          *rtask
+	idx         int
+	release     sim.Time
+	absDeadline sim.Time
+	// nextLoad is the first segment not yet fully staged; a transfer for
+	// it may be in flight (loading). nextCompute is the first segment not
+	// yet executed. Staged-and-unconsumed count = nextLoad - nextCompute.
+	nextLoad    int
+	nextCompute int
+	loading     bool
+	// segLoaded counts the bytes of segment nextLoad already staged when
+	// transfers are chunked.
+	segLoaded int64
+	heldBytes int64
+	done      bool
+}
+
+func (j *job) name() string    { return j.rt.t.Name }
+func (j *job) segments() int   { return j.rt.t.NumSegments() }
+func (j *job) priority() int   { return j.rt.t.Priority }
+func (j *job) staged() bool    { return j.nextCompute < j.nextLoad }
+func (j *job) allLoaded() bool { return j.nextLoad >= j.segments() }
+
+// rtask is the runtime state of one task.
+type rtask struct {
+	t *task.Task
+	// pending holds released, unfinished jobs in release order; only the
+	// head executes (jobs of one task are processed FIFO).
+	pending []*job
+	nextIdx int
+}
+
+func (rt *rtask) head() *job {
+	if len(rt.pending) == 0 {
+		return nil
+	}
+	return rt.pending[0]
+}
+
+type runner struct {
+	eng  *sim.Engine
+	cpu  *platform.CPU
+	dma  *platform.DMA
+	sram *platform.SRAM
+	set  *task.Set
+	plat cost.Platform
+	pol  core.Policy
+	tr   *trace.Trace
+	rts  []*rtask
+	// locked is the in-progress job under job-level non-preemption.
+	locked *job
+	// running is the job currently occupying the CPU (nil when idle).
+	running *job
+	// lastRan is the job that most recently held the CPU; dispatching a
+	// different job costs plat.CPU.SwitchNs of extra compute.
+	lastRan *job
+	// actPeak tracks the activation-residency high-water mark.
+	actPeak int64
+	// flashBytes tallies parameter bytes read from external memory.
+	flashBytes int64
+	// kickPending coalesces same-instant scheduling decisions: all events
+	// at one virtual instant (releases, completions) are processed before
+	// the dispatcher picks work, so simultaneous releases are ordered by
+	// urgency rather than by event-queue arrival.
+	kickPending bool
+	horizon     sim.Time
+	err         error
+}
+
+// Run simulates the task set on the platform under the policy until the
+// horizon. The returned result carries the full trace; Run also verifies
+// the trace invariants before returning.
+func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration) (*Result, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("exec: non-positive horizon %v", horizon)
+	}
+	eng := sim.NewEngine()
+	_, cpu, dma := platform.NewBus(eng, plat)
+	r := &runner{
+		eng: eng, cpu: cpu, dma: dma,
+		sram: platform.NewSRAM(plat.WeightBufBytes),
+		set:  set, plat: plat, pol: pol,
+		tr:      &trace.Trace{},
+		horizon: horizon,
+	}
+	for _, t := range set.Tasks {
+		rt := &rtask{t: t}
+		r.rts = append(r.rts, rt)
+		r.scheduleRelease(rt, 0)
+	}
+	eng.Run(horizon)
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	infos := make([]trace.TaskInfo, 0, len(set.Tasks))
+	for _, t := range set.Tasks {
+		infos = append(infos, trace.TaskInfo{
+			Name: t.Name, Period: t.Period, Deadline: t.Deadline,
+			Offset: t.Offset, Jitter: t.Jitter, Segments: t.NumSegments(),
+		})
+	}
+	if err := r.tr.CheckInvariants(infos); err != nil {
+		return nil, fmt.Errorf("exec: trace invariant violated under %s: %w", pol.Name, err)
+	}
+	energy := plat.Energy.EnergyMicroJ(int64(horizon), cpu.BusyNs, dma.BusyNs, r.flashBytes)
+	return &Result{
+		Trace:          r.tr,
+		Metrics:        r.tr.Analyze(infos, horizon),
+		Infos:          infos,
+		Horizon:        horizon,
+		CPUBusyNs:      cpu.BusyNs,
+		DMABusyNs:      dma.BusyNs,
+		SRAMPeak:       r.sram.Peak(),
+		ActivationPeak: r.actPeak,
+		FlashBytes:     r.flashBytes,
+		EnergyMicroJ:   energy,
+		AvgPowerMw:     energy / 1000 / (float64(horizon) / 1e9),
+	}, nil
+}
+
+func (r *runner) emit(k trace.Kind, j *job, seg int, bytes int64) {
+	r.tr.Add(trace.Event{
+		At: r.eng.Now(), Kind: k, Task: j.name(), Job: j.idx, Segment: seg, Bytes: bytes,
+	})
+}
+
+// scheduleRelease arms job k's arrival: nominal grid point plus a
+// deterministic pseudo-random delay within the task's jitter bound.
+func (r *runner) scheduleRelease(rt *rtask, k int) {
+	nominal := rt.t.Offset + sim.Duration(k)*rt.t.Period
+	at := nominal + releaseJitter(rt.t.Name, k, rt.t.Jitter)
+	if nominal >= r.horizon {
+		return
+	}
+	r.eng.Schedule(at, func() { r.release(rt) })
+}
+
+// releaseJitter derives a deterministic delay in [0, max] from the task
+// name and job index (splitmix64-style hash), so jittered runs stay
+// bit-reproducible.
+func releaseJitter(name string, k int, max sim.Duration) sim.Duration {
+	if max <= 0 {
+		return 0
+	}
+	h := uint64(1469598103934665603)
+	for _, c := range name {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h ^= uint64(k) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return sim.Duration(h % uint64(max+1))
+}
+
+// release creates the next job of rt and schedules the following release.
+func (r *runner) release(rt *rtask) {
+	j := &job{
+		rt:          rt,
+		idx:         rt.nextIdx,
+		release:     r.eng.Now(),
+		absDeadline: r.eng.Now() + rt.t.Deadline,
+	}
+	rt.nextIdx++
+	rt.pending = append(rt.pending, j)
+	r.emit(trace.Release, j, -1, 0)
+	if j.absDeadline <= r.horizon {
+		// Watch the absolute deadline. The check double-defers through a
+		// fresh same-instant event so that a completion at exactly the
+		// deadline (whose events were queued earlier, with lower sequence
+		// numbers) is processed first and does not count as a miss.
+		r.eng.Schedule(j.absDeadline, func() {
+			r.eng.Schedule(r.eng.Now(), func() {
+				if !j.done {
+					r.emit(trace.DeadlineMiss, j, -1, 0)
+				}
+			})
+		})
+	}
+	r.scheduleRelease(rt, rt.nextIdx)
+	r.kick()
+}
+
+// kick requests a dispatch pass at the current instant. The pass is
+// deferred to a fresh event so that every release/completion at this
+// instant is processed first; loads may unblock computes and vice versa,
+// but a single pass suffices: tryDMA only issues transfers (completion
+// comes later), and tryCPU's completion re-kicks.
+func (r *runner) kick() {
+	if r.err != nil || r.kickPending {
+		return
+	}
+	r.kickPending = true
+	r.eng.Schedule(r.eng.Now(), func() {
+		r.kickPending = false
+		if r.err != nil {
+			return
+		}
+		r.tryDMA()
+		r.tryCPU()
+	})
+}
+
+// less orders jobs most-urgent-first under the policy's discipline.
+func (r *runner) less(a, b *job) bool {
+	if r.pol.EDF {
+		if a.absDeadline != b.absDeadline {
+			return a.absDeadline < b.absDeadline
+		}
+	}
+	if a.priority() != b.priority() {
+		return a.priority() < b.priority()
+	}
+	return a.name() < b.name()
+}
+
+// headJobs returns the head job of every task that has one.
+func (r *runner) headJobs() []*job {
+	out := make([]*job, 0, len(r.rts))
+	for _, rt := range r.rts {
+		if j := rt.head(); j != nil {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// cpuEligible reports whether j could occupy the CPU next.
+func (r *runner) cpuEligible(j *job) bool {
+	if j.done || !j.staged() {
+		return false
+	}
+	if r.pol.JobLevelNP && r.locked != nil && r.locked != j {
+		return false
+	}
+	return true
+}
+
+// loadTarget returns the job whose segments the DMA should stage next, or
+// nil. Under PrefetchAcrossJobs every head job with buffer room competes;
+// otherwise only the job holding (or about to hold) the CPU may load.
+func (r *runner) loadTarget() *job {
+	heads := r.headJobs()
+	if len(heads) == 0 {
+		return nil
+	}
+	loadable := func(j *job) bool {
+		if j.done || j.loading || j.allLoaded() {
+			return false
+		}
+		return j.nextLoad-j.nextCompute < r.pol.DepthFor(j.rt.t.Name)
+	}
+	if !r.pol.PrefetchAcrossJobs {
+		// Identify the head-of-line job: the one on the CPU, the locked
+		// job, or the most urgent head job. Serial policies never load for
+		// anyone else, so a single thread of control is preserved.
+		var hol *job
+		switch {
+		case r.running != nil:
+			hol = r.running
+		case r.pol.JobLevelNP && r.locked != nil:
+			hol = r.locked
+		default:
+			for _, j := range heads {
+				if hol == nil || r.less(j, hol) {
+					hol = j
+				}
+			}
+		}
+		if hol != nil && loadable(hol) {
+			return hol
+		}
+		return nil
+	}
+	if r.pol.DMA == core.DMAFIFO {
+		// Memory-unaware ablation: any job with buffer room competes, in
+		// release order.
+		cands := heads[:0]
+		for _, j := range heads {
+			if loadable(j) {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		sort.Slice(cands, func(i, k int) bool {
+			if cands[i].release != cands[k].release {
+				return cands[i].release < cands[k].release
+			}
+			return cands[i].name() < cands[k].name()
+		})
+		return cands[0]
+	}
+	// Priority-gated issuing (the RT-MDM design point): the channel is
+	// reserved for the most urgent incomplete job that still has loads
+	// remaining. A less urgent job may only transfer once that job has no
+	// DMA demand left, so an urgent job is blocked by at most one
+	// in-flight transfer over its whole lifetime — the property the
+	// schedulability analysis builds on.
+	var gate *job
+	for _, j := range heads {
+		if j.done || j.allLoaded() {
+			continue
+		}
+		if gate == nil || r.less(j, gate) {
+			gate = j
+		}
+	}
+	if gate != nil && loadable(gate) {
+		return gate
+	}
+	// When the gate job's window is full the channel deliberately idles:
+	// letting less urgent jobs "steal the gap" would let them re-stage
+	// segments during an urgent job's busy window, voiding the staged-
+	// inventory blocking bound every task's analysis builds on — and a
+	// lower task gains no *guaranteed* latency from stealing anyway, since
+	// its offline bound must already assume its loads freeze whenever a
+	// more urgent job has DMA demand left (see docs/ANALYSIS.md §4).
+	return nil
+}
+
+// tryDMA issues at most one transfer; zero-byte segments stage instantly
+// in a loop (they never occupy the channel).
+func (r *runner) tryDMA() {
+	for {
+		if r.dma.Busy() {
+			return
+		}
+		j := r.loadTarget()
+		if j == nil {
+			return
+		}
+		seg := j.rt.t.Plan.Segments[j.nextLoad]
+		if r.pol.JobLevelNP && r.locked == nil {
+			// Vanilla single-threaded semantics: the job occupies the
+			// runtime from its very first load. Without this, a job
+			// staged before an urgent release could grab the lock during
+			// the urgent job's load and chain a second whole-job
+			// blocking.
+			r.locked = j
+		}
+		if seg.LoadBytes == 0 {
+			r.emit(trace.LoadStart, j, seg.Index, 0)
+			r.emit(trace.LoadEnd, j, seg.Index, 0)
+			j.nextLoad++
+			continue // staging was free; look for more work
+		}
+		if j.segLoaded == 0 {
+			// The whole segment's buffer is reserved at the first chunk.
+			if !r.sram.Alloc(seg.LoadBytes) {
+				// Staging SRAM exhausted. With core.Provision satisfied
+				// this cannot happen; without it we degrade gracefully by
+				// waiting for buffers to free up (a compute completion
+				// re-kicks).
+				return
+			}
+			j.heldBytes += seg.LoadBytes
+		}
+		bytes := seg.LoadBytes - j.segLoaded
+		if c := r.pol.ChunkBytes; c > 0 && bytes > c {
+			// Limited-preemption DMA: issue one chunk, then re-arbitrate
+			// the channel at the chunk boundary.
+			bytes = c
+		}
+		j.loading = true
+		r.flashBytes += bytes
+		r.emit(trace.LoadStart, j, seg.Index, bytes)
+		r.dma.Submit(&platform.Transfer{
+			Bytes:    bytes,
+			Priority: j.priority(),
+			OnDone: func() {
+				r.emit(trace.LoadEnd, j, seg.Index, bytes)
+				j.loading = false
+				j.segLoaded += bytes
+				if j.segLoaded >= seg.LoadBytes {
+					j.segLoaded = 0
+					j.nextLoad++
+				}
+				r.kick()
+			},
+		})
+		return
+	}
+}
+
+// tryCPU dispatches the most urgent staged segment if the CPU is idle.
+func (r *runner) tryCPU() {
+	if r.cpu.Busy() {
+		return
+	}
+	var best *job
+	for _, j := range r.headJobs() {
+		if !r.cpuEligible(j) {
+			continue
+		}
+		if best == nil || r.less(j, best) {
+			best = j
+		}
+	}
+	if best == nil {
+		return
+	}
+	j := best
+	seg := j.rt.t.Plan.Segments[j.nextCompute]
+	if r.pol.JobLevelNP {
+		r.locked = j
+	}
+	work := seg.ComputeNs
+	if r.lastRan != j {
+		work += r.plat.CPU.SwitchNs
+	}
+	r.running = j
+	r.lastRan = j
+	r.accountActivations(j, seg)
+	r.emit(trace.ComputeStart, j, seg.Index, 0)
+	r.cpu.Run(work, func() { r.onComputeDone(j, seg) })
+	// Starting a compute may open prefetch room (depth window slides only
+	// on completion, not here) — nothing further to do.
+}
+
+func (r *runner) onComputeDone(j *job, seg segment.Segment) {
+	r.running = nil
+	r.emit(trace.ComputeEnd, j, seg.Index, 0)
+	// The segment's staging buffer frees once its compute is done.
+	if seg.LoadBytes > 0 {
+		r.sram.Release(seg.LoadBytes)
+		j.heldBytes -= seg.LoadBytes
+	}
+	j.nextCompute++
+	if j.nextCompute >= j.segments() {
+		j.done = true
+		r.emit(trace.JobDone, j, -1, 0)
+		if j.heldBytes != 0 {
+			r.fail(fmt.Errorf("exec: job %s#%d finished holding %d B", j.name(), j.idx, j.heldBytes))
+			return
+		}
+		if j.rt.head() != j {
+			r.fail(fmt.Errorf("exec: job %s#%d finished out of order", j.name(), j.idx))
+			return
+		}
+		j.rt.pending = j.rt.pending[1:]
+		if r.locked == j {
+			r.locked = nil
+		}
+	}
+	r.kick()
+}
+
+// accountActivations checks the activation-SRAM invariant at a dispatch
+// instant: the running job's working set plus every other started-but-
+// unfinished job's parked boundary state must fit the non-staging SRAM.
+// With core.Provision satisfied this can never trip; it exists to validate
+// the provisioning rule empirically on every simulated schedule.
+func (r *runner) accountActivations(running *job, seg segment.Segment) {
+	var resident int64
+	if running.rt.t.Plan.Model != nil {
+		resident = running.rt.t.Plan.Model.PeakActivationBytes()
+	}
+	for _, rt := range r.rts {
+		j := rt.head()
+		if j == nil || j == running || j.nextCompute == 0 {
+			continue // not started: holds no activation state
+		}
+		resident += rt.t.Plan.Segments[j.nextCompute-1].ResidentBytes
+	}
+	if resident > r.actPeak {
+		r.actPeak = resident
+	}
+	if act := r.plat.SRAMBytes - r.plat.WeightBufBytes; resident > act && running.rt.t.Plan.Model != nil {
+		r.fail(fmt.Errorf("exec: activation SRAM overcommitted: %d B resident, %d B available (provisioning violated)",
+			resident, act))
+	}
+}
+
+func (r *runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}

@@ -1,0 +1,71 @@
+package expr
+
+import (
+	"fmt"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/dse"
+)
+
+func init() {
+	register(Experiment{ID: "T23", Title: "Design-space exploration: co-tuning the SRAM partition, depth, δ and chunking", Run: runT23})
+}
+
+// runT23 measures what full design-space exploration buys over the fixed
+// reference configuration: for each task set it sweeps the staging
+// partition jointly with the software knobs (T18 tunes δ alone) and
+// reports how many sets any grid point rescues, what the recommended
+// configuration costs in staging SRAM, and the guaranteed margin it
+// achieves.
+func runT23(cfg Config) (*Table, error) {
+	t := &Table{
+		ID: "T23",
+		Title: fmt.Sprintf("Design-space exploration vs fixed configuration (%d sets, %d tasks)",
+			cfg.Sets, cfg.N),
+		Columns: []string{"util", "fixed-config sched", "explored sched",
+			"mean rec staging(KiB)", "mean rec α", "mean frontier size"},
+		Notes: "explored = some point of the 16-point grid (staging 64-256 KiB × depth 2-3 × δ 0.5-1 ms) is schedulable; rec = Recommend(α ≥ 1.1) over schedulable sets",
+	}
+	knobs := dse.Knobs{
+		StagingBytes:  []int64{64 << 10, 128 << 10, 192 << 10, 256 << 10},
+		Depths:        []int{2, 3},
+		GranularityNs: []int64{500_000, 1_000_000},
+		ChunkBytes:    []int64{0},
+	}
+	for _, u := range []float64{0.5, 0.6, 0.7, 0.8} {
+		specs, err := genSpecs(cfg, u, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		fixedOK, expOK := 0, 0
+		var stagingSum, alphaSum, frontSum float64
+		for _, sp := range specs {
+			if acc, _, _ := accepted(sp, cfg.Platform, core.RTMDM()); acc {
+				fixedOK++
+			}
+			// Explore parallelizes internally; keep the outer loop serial.
+			r, err := dse.Explore(sp, cfg.Platform, knobs)
+			if err != nil {
+				return nil, err
+			}
+			rec, ok := r.Recommend(1.1)
+			if !ok {
+				continue
+			}
+			expOK++
+			stagingSum += float64(rec.StagingBytes) / 1024
+			alphaSum += rec.Alpha
+			frontSum += float64(len(r.Frontier))
+		}
+		n := float64(len(specs))
+		staging, alpha, front := "-", "-", "-"
+		if expOK > 0 {
+			staging = fmt.Sprintf("%.0f", stagingSum/float64(expOK))
+			alpha = f2(alphaSum / float64(expOK))
+			front = f2(frontSum / float64(expOK))
+		}
+		t.AddRow(f2(u), pct(float64(fixedOK)/n), pct(float64(expOK)/n),
+			staging, alpha, front)
+	}
+	return t, nil
+}

@@ -1,0 +1,143 @@
+package expr
+
+import (
+	"fmt"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/models"
+	"rtmdm/internal/segment"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/task"
+)
+
+const modelSeed = 1
+
+func init() {
+	register(Experiment{ID: "T1", Title: "Model zoo inventory and segmentation on the default platform", Run: runT1})
+	register(Experiment{ID: "F2", Title: "Single-DNN latency: serial load-then-compute vs RT-MDM prefetch pipeline", Run: runF2})
+	register(Experiment{ID: "F3", Title: "Pipeline speedup vs external-memory bandwidth (crossover sweep)", Run: runF3})
+}
+
+func runT1(cfg Config) (*Table, error) {
+	plat := cfg.Platform
+	budget := core.SegmentBudget(plat, 3, core.RTMDM())
+	t := &Table{
+		ID:    "T1",
+		Title: fmt.Sprintf("Model zoo on %s (staging budget %d KiB/segment)", plat.Name, budget>>10),
+		Columns: []string{"model", "params(KiB)", "MACs(M)", "act-peak(KiB)", "layers",
+			"segments", "load(ms)", "compute(ms)", "serial(ms)", "pipelined(ms)", "speedup"},
+		Notes: "reconstructed experiment; pipelined = depth-2 double buffering",
+	}
+	for _, info := range models.Catalog() {
+		m := info.Build(modelSeed)
+		pl, err := segment.Build(m, plat, budget, segment.Greedy)
+		if err != nil {
+			return nil, err
+		}
+		serial := pl.SerialNs()
+		pipe := pl.PipelineNs(2)
+		t.AddRow(
+			info.Name,
+			fmt.Sprintf("%.1f", float64(m.TotalParamBytes())/1024),
+			fmt.Sprintf("%.2f", float64(m.TotalMACs())/1e6),
+			fmt.Sprintf("%.1f", float64(m.PeakActivationBytes())/1024),
+			fmt.Sprintf("%d", m.NumLayers()),
+			fmt.Sprintf("%d", pl.NumSegments()),
+			ms(pl.TotalLoadNs()),
+			ms(pl.TotalComputeNs()),
+			ms(serial),
+			ms(pipe),
+			f2(float64(serial)/float64(pipe)),
+		)
+	}
+	return t, nil
+}
+
+// singleJobResponse simulates one isolated inference of the model under a
+// policy and returns the observed response time in ns.
+func singleJobResponse(plat cost.Platform, model string, pol core.Policy) (int64, error) {
+	m, err := models.Build(model, modelSeed)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := segment.BuildLimits(m, plat, pol.Limits(plat, 1), segment.Greedy)
+	if err != nil {
+		return 0, err
+	}
+	tk := &task.Task{Name: model, Plan: pl, Period: sim.Second, Deadline: sim.Second}
+	s := task.NewSet(tk)
+	r, err := exec.Run(s, plat, pol, sim.Second)
+	if err != nil {
+		return 0, err
+	}
+	tm := r.Metrics.PerTask[model]
+	if tm.Completed == 0 {
+		return 0, fmt.Errorf("expr: %s under %s never completed", model, pol.Name)
+	}
+	return int64(tm.MaxResponse), nil
+}
+
+func runF2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "F2",
+		Title: fmt.Sprintf("Isolated inference latency on %s (simulated)", cfg.Platform.Name),
+		Columns: []string{"model", "serial(ms)", "rt-mdm(ms)", "speedup",
+			"analytic-pipe(ms)", "bound"},
+		Notes: "serial = load-then-compute baseline; bound = by which resource the pipeline saturates",
+	}
+	for _, info := range models.Catalog() {
+		serial, err := singleJobResponse(cfg.Platform, info.Name, core.SerialNPFP())
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := singleJobResponse(cfg.Platform, info.Name, core.RTMDM())
+		if err != nil {
+			return nil, err
+		}
+		m := info.Build(modelSeed)
+		pl, err := segment.BuildLimits(m, cfg.Platform, core.RTMDM().Limits(cfg.Platform, 1), segment.Greedy)
+		if err != nil {
+			return nil, err
+		}
+		bound := "compute"
+		if pl.TotalLoadNs() > pl.TotalComputeNs() {
+			bound = "memory"
+		}
+		t.AddRow(info.Name, ms(serial), ms(pipe),
+			f2(float64(serial)/float64(pipe)), ms(pl.PipelineNs(2)), bound)
+	}
+	return t, nil
+}
+
+func runF3(cfg Config) (*Table, error) {
+	bws := []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 256 << 20}
+	names := models.Names()
+	cols := []string{"bandwidth(MB/s)"}
+	cols = append(cols, names...)
+	t := &Table{
+		ID:      "F3",
+		Title:   "Pipeline speedup (serial / RT-MDM latency) vs external-memory bandwidth",
+		Columns: cols,
+		Notes: "each model peaks where load ≈ compute: compute-bound models gain as bandwidth drops, " +
+			"load-bound models as it rises; ≈1 when either resource dominates outright",
+	}
+	for _, bw := range bws {
+		plat := cfg.Platform.WithBandwidth(bw)
+		row := []string{fmt.Sprintf("%d", bw>>20)}
+		for _, name := range names {
+			serial, err := singleJobResponse(plat, name, core.SerialNPFP())
+			if err != nil {
+				return nil, err
+			}
+			pipe, err := singleJobResponse(plat, name, core.RTMDM())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(float64(serial)/float64(pipe)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

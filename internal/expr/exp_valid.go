@@ -1,0 +1,232 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/task"
+)
+
+func init() {
+	register(Experiment{ID: "T8", Title: "Analysis pessimism: WCRT bound vs observed worst response", Run: runT8})
+	register(Experiment{ID: "T9", Title: "Ablations: buffer depth, DMA arbitration, priority assignment", Run: runT9})
+	register(Experiment{ID: "T11", Title: "Bus-contention sensitivity", Run: runT11})
+}
+
+func runT8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "T8",
+		Title:   fmt.Sprintf("Bound/observed response ratio over accepted sets (%d sets/point, %d tasks)", cfg.Sets, cfg.N),
+		Columns: []string{"util", "policy", "accepted", "mean-ratio", "max-ratio", "min-ratio"},
+		Notes:   "ratios ≥ 1 certify soundness in simulation; mean quantifies pessimism",
+	}
+	pols := core.ComparisonSet()
+	for _, util := range []float64{0.3, 0.5, 0.7} {
+		specs, err := genSpecs(cfg, util, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range pols {
+			acc := 0
+			minR, maxR, sumR, cnt := math.Inf(1), 0.0, 0.0, 0
+			for _, sp := range specs {
+				ok, v, s := accepted(sp, cfg.Platform, pol)
+				if !ok {
+					continue
+				}
+				acc++
+				r, err := exec.Run(s, cfg.Platform, pol, simHorizon(s, cfg.MaxHorizon))
+				if err != nil {
+					return nil, err
+				}
+				for name, tm := range r.Metrics.PerTask {
+					if tm.Completed == 0 {
+						continue
+					}
+					bound, okB := v.WCRT[name]
+					if !okB || tm.MaxResponse == 0 {
+						continue
+					}
+					ratio := float64(bound) / float64(tm.MaxResponse)
+					sumR += ratio
+					cnt++
+					if ratio > maxR {
+						maxR = ratio
+					}
+					if ratio < minR {
+						minR = ratio
+					}
+				}
+			}
+			if cnt == 0 {
+				t.AddRow(f2(util), pol.Name, "0", "-", "-", "-")
+				continue
+			}
+			t.AddRow(f2(util), pol.Name, fmt.Sprintf("%d", acc),
+				f2(sumR/float64(cnt)), f2(maxR), f2(minR))
+		}
+	}
+	return t, nil
+}
+
+// empiricalMissFrac runs one policy over specs and returns the fraction of
+// sets that miss at least one deadline.
+func empiricalMissFrac(cfg Config, plat cost.Platform, util float64, n int, pol core.Policy) (float64, error) {
+	specs, err := genSpecs(cfg, util, n)
+	if err != nil {
+		return 0, err
+	}
+	missed := make([]bool, len(specs))
+	errs := make([]error, len(specs))
+	parallelEach(len(specs), func(k int) {
+		s, err := specs[k].Instantiate(plat, pol)
+		if err != nil {
+			missed[k] = true
+			return
+		}
+		r, err := exec.Run(s, plat, pol, simHorizon(s, cfg.MaxHorizon))
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		missed[k] = r.Metrics.AnyMiss()
+	})
+	miss := 0
+	for k := range missed {
+		if errs[k] != nil {
+			return 0, errs[k]
+		}
+		if missed[k] {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(specs)), nil
+}
+
+// acceptFrac returns the fraction of specs a policy's analysis accepts.
+func acceptFrac(cfg Config, plat cost.Platform, util float64, n int, pol core.Policy) (float64, error) {
+	specs, err := genSpecs(cfg, util, n)
+	if err != nil {
+		return 0, err
+	}
+	acc := make([]bool, len(specs))
+	parallelEach(len(specs), func(k int) {
+		acc[k], _, _ = accepted(specs[k], plat, pol)
+	})
+	ok := 0
+	for _, a := range acc {
+		if a {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(specs)), nil
+}
+
+func runT9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "T9",
+		Title:   fmt.Sprintf("Design-choice ablations (%d sets, %d tasks)", cfg.Sets, cfg.N),
+		Columns: []string{"knob", "variant", "sched-ratio(U=0.6)", "sets-missing(U=0.8)"},
+		Notes:   "FIFO DMA is analyzable but pays lower-priority transfers as repeated interference",
+	}
+
+	// Buffer depth.
+	for _, d := range []int{1, 2, 3, 4} {
+		pol := core.RTMDMDepth(d)
+		sched, err := acceptFrac(cfg, cfg.Platform, 0.6, cfg.N, pol)
+		if err != nil {
+			return nil, err
+		}
+		missf, err := empiricalMissFrac(cfg, cfg.Platform, 0.8, cfg.N, pol)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("depth", fmt.Sprintf("%d", d), pct(sched), pct(missf))
+	}
+
+	// DMA arbitration.
+	for _, pol := range []core.Policy{core.RTMDM(), core.RTMDMFIFODMA()} {
+		schedCell := "n/a"
+		if _, err := analysis.ForPolicy(pol); err == nil {
+			sched, err := acceptFrac(cfg, cfg.Platform, 0.6, cfg.N, pol)
+			if err != nil {
+				return nil, err
+			}
+			schedCell = pct(sched)
+		}
+		missf, err := empiricalMissFrac(cfg, cfg.Platform, 0.8, cfg.N, pol)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("dma-arb", pol.DMA.String(), schedCell, missf2(missf))
+	}
+
+	// Priority assignment: RM (as generated) vs Audsley OPA, judged by the
+	// OPA-compatible test so the comparison is apples-to-apples.
+	specs, err := genSpecs(cfg, 0.6, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	rmOK, opaOK := 0, 0
+	for _, sp := range specs {
+		s, err := sp.Instantiate(cfg.Platform, core.RTMDM())
+		if err != nil {
+			continue
+		}
+		if analysis.RTMDMRTAForOPA(s, cfg.Platform, 2).Schedulable {
+			rmOK++
+		}
+		opaTest := func(ss *task.Set, p cost.Platform) analysis.Verdict {
+			return analysis.RTMDMRTAForOPA(ss, p, 2)
+		}
+		if analysis.Audsley(s, cfg.Platform, opaTest) {
+			opaOK++
+		}
+	}
+	n := float64(len(specs))
+	t.AddRow("priorities", "rate-monotonic", pct(float64(rmOK)/n), "-")
+	t.AddRow("priorities", "audsley-opa", pct(float64(opaOK)/n), "-")
+	return t, nil
+}
+
+func missf2(x float64) string { return pct(x) }
+
+func runT11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "T11",
+		Title:   fmt.Sprintf("Sensitivity to CPU/DMA bus contention (%d sets, %d tasks)", cfg.Sets, cfg.N),
+		Columns: []string{"mutual-slowdown", "rt-mdm sched(U=0.6)", "serial-segfp sched(U=0.6)", "mobilenet rt-mdm(ms)"},
+		Notes:   "slowdown x% derates each party while the other is on the bus",
+	}
+	cases := []struct {
+		label string
+		c     cost.Contention
+	}{
+		{"0%", cost.NoContention()},
+		{"10%", cost.Contention{CPUNum: 9, CPUDen: 10, DMANum: 9, DMADen: 10}},
+		{"25%", cost.Contention{CPUNum: 3, CPUDen: 4, DMANum: 3, DMADen: 4}},
+		{"50%", cost.Contention{CPUNum: 1, CPUDen: 2, DMANum: 1, DMADen: 2}},
+	}
+	for _, c := range cases {
+		plat := cfg.Platform
+		plat.Bus = c.c
+		rt, err := acceptFrac(cfg, plat, 0.6, cfg.N, core.RTMDM())
+		if err != nil {
+			return nil, err
+		}
+		sg, err := acceptFrac(cfg, plat, 0.6, cfg.N, core.SerialSegFP())
+		if err != nil {
+			return nil, err
+		}
+		lat, err := singleJobResponse(plat, "mobilenetv1-0.25", core.RTMDM())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.label, pct(rt), pct(sg), ms(lat))
+	}
+	return t, nil
+}

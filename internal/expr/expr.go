@@ -1,0 +1,148 @@
+package expr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/sim"
+)
+
+// Config tunes experiment scale. Quick configurations keep every
+// experiment's structure intact while shrinking sample counts, so tests and
+// benchmarks exercise the identical code paths as the full evaluation.
+type Config struct {
+	// Platform is the target MCU model (default STM32H743).
+	Platform cost.Platform
+	// Sets is the number of random task sets per sweep point.
+	Sets int
+	// N is the number of tasks per generated set.
+	N int
+	// Seed roots all pseudo-randomness.
+	Seed int64
+	// MaxHorizon caps empirical simulation windows.
+	MaxHorizon sim.Duration
+}
+
+// DefaultConfig is the full-scale evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Platform:   cost.STM32H743,
+		Sets:       200,
+		N:          4,
+		Seed:       20240601,
+		MaxHorizon: 400 * sim.Millisecond,
+	}
+}
+
+// QuickConfig shrinks sample counts for smoke tests and benchmarks.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Sets = 12
+	c.MaxHorizon = 150 * sim.Millisecond
+	return c
+}
+
+// Experiment is one reconstructed table or figure.
+type Experiment struct {
+	// ID matches DESIGN.md §6 (T1, F2, …).
+	ID string
+	// Title is the one-line description.
+	Title string
+	// Run produces the table.
+	Run func(Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expr: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in DESIGN.md order (T1, F2, F3, …).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := idOrder(out[i].ID), idOrder(out[j].ID)
+		if a != b {
+			return a < b
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// idOrder sorts by the numeric part of the ID.
+func idOrder(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		return Experiment{}, fmt.Errorf("expr: unknown experiment %q (have %v)", id, ids)
+	}
+	return e, nil
+}
+
+// ms formats nanoseconds as milliseconds.
+func ms(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// f2 formats with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// parallelEach runs f(k) for every k in [0, n) on up to GOMAXPROCS
+// workers. Callers collect per-k results into pre-sized slices and reduce
+// sequentially afterwards, so aggregate results stay bit-deterministic
+// regardless of scheduling.
+func parallelEach(n int, f func(k int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			f(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= n {
+					return
+				}
+				f(k)
+			}
+		}()
+	}
+	wg.Wait()
+}

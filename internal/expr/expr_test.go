@@ -1,0 +1,527 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/sim"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "T8", "T9", "F10", "T11", "F12", "F13", "T13", "T15", "T16", "T17", "T18", "F19", "F20", "T21", "T22", "T23", "T24"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("order %v, want %v at %d", e.ID, want[i], i)
+		}
+	}
+	if _, err := ByID("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("longer") // second cell padded
+	text := tb.String()
+	if !strings.Contains(text, "X — demo") || !strings.Contains(text, "longer") {
+		t.Fatalf("render:\n%s", text)
+	}
+	var sb strings.Builder
+	tb.CSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" || lines[1] != "1,2" {
+		t.Fatalf("csv: %q", sb.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a"}}
+	tb.AddRow(`va"l,ue`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if !strings.Contains(sb.String(), `"va""l,ue"`) {
+		t.Fatalf("csv escaping: %q", sb.String())
+	}
+}
+
+// percentage parses a "12.3%" cell.
+func percentage(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q", cell)
+	}
+	return v
+}
+
+func mustRun(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.Sets = 6
+	tb, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	return tb
+}
+
+func TestT1Inventory(t *testing.T) {
+	tb := mustRun(t, "T1")
+	if len(tb.Rows) != 8 {
+		t.Fatalf("T1 rows = %d, want 8 (zoo size)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		speedup, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad speedup %q", row[len(row)-1])
+		}
+		if speedup < 1.0 || speedup > 2.01 {
+			t.Errorf("%s: pipeline speedup %v outside (1, 2]", row[0], speedup)
+		}
+	}
+}
+
+func TestF2LatencyShape(t *testing.T) {
+	tb := mustRun(t, "F2")
+	for _, row := range tb.Rows {
+		serial, _ := strconv.ParseFloat(row[1], 64)
+		pipe, _ := strconv.ParseFloat(row[2], 64)
+		if pipe > serial {
+			t.Errorf("%s: pipelined %v slower than serial %v", row[0], pipe, serial)
+		}
+		// The load-bound autoencoder should profit visibly.
+		if row[0] == "autoencoder" {
+			speedup, _ := strconv.ParseFloat(row[3], 64)
+			if speedup < 1.05 {
+				t.Errorf("autoencoder speedup %v, want > 1.05", speedup)
+			}
+		}
+	}
+}
+
+func TestF3CrossoverShape(t *testing.T) {
+	tb := mustRun(t, "F3")
+	col := func(name string) int {
+		for i, c := range tb.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("no %s column", name)
+		return -1
+	}
+	first := func(name string) float64 {
+		v, _ := strconv.ParseFloat(tb.Rows[0][col(name)], 64)
+		return v
+	}
+	last := func(name string) float64 {
+		v, _ := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][col(name)], 64)
+		return v
+	}
+	// Heavily load-bound autoencoder approaches balance as bandwidth
+	// rises: speedup grows with bandwidth.
+	if last("autoencoder") <= first("autoencoder") {
+		t.Errorf("autoencoder speedup did not grow with bandwidth: %v → %v",
+			first("autoencoder"), last("autoencoder"))
+	}
+	// Compute-bound mobilenet moves away from balance as bandwidth rises:
+	// speedup shrinks.
+	if last("mobilenetv1-0.25") >= first("mobilenetv1-0.25") {
+		t.Errorf("mobilenet speedup did not shrink with bandwidth: %v → %v",
+			first("mobilenetv1-0.25"), last("mobilenetv1-0.25"))
+	}
+	// Every speedup stays within the theoretical (1, 2] band.
+	for _, row := range tb.Rows {
+		for i := 1; i < len(row); i++ {
+			v, _ := strconv.ParseFloat(row[i], 64)
+			if v < 0.99 || v > 2.01 {
+				t.Errorf("speedup %v outside [1, 2] at %v/%v", v, row[0], tb.Columns[i])
+			}
+		}
+	}
+}
+
+func TestF4DominanceShape(t *testing.T) {
+	tb := mustRun(t, "F4")
+	// Columns: util, serial-npfp, serial-segfp, rt-mdm. At every point
+	// RT-MDM acceptance ≥ NP acceptance; ratios nonincreasing overall in
+	// U for each policy (allowing small sampling noise).
+	for _, row := range tb.Rows {
+		np := percentage(t, row[1])
+		rt := percentage(t, row[3])
+		if rt < np {
+			t.Errorf("U=%s: rt-mdm %v%% < serial-npfp %v%%", row[0], rt, np)
+		}
+	}
+	first := percentage(t, tb.Rows[0][3])
+	last := percentage(t, tb.Rows[len(tb.Rows)-1][3])
+	if last > first {
+		t.Errorf("rt-mdm acceptance rose with utilization: %v → %v", first, last)
+	}
+}
+
+func TestF5EmpiricalShape(t *testing.T) {
+	tb := mustRun(t, "F5")
+	// Misses grow with utilization for the NP baseline.
+	firstNP := percentage(t, tb.Rows[0][1])
+	lastNP := percentage(t, tb.Rows[len(tb.Rows)-1][1])
+	if lastNP < firstNP {
+		t.Errorf("NP sets-missing fell with utilization: %v → %v", firstNP, lastNP)
+	}
+}
+
+func TestF6PartitionTradeoff(t *testing.T) {
+	tb := mustRun(t, "F6")
+	// The staging/activation partition has an interior sweet spot: the
+	// best acceptance must not be at the largest staging budget (which
+	// starves parked activations), and at least one point must accept a
+	// majority of sets.
+	best, bestIdx := -1.0, 0
+	for i, row := range tb.Rows {
+		if rt := percentage(t, row[2]); rt > best {
+			best, bestIdx = rt, i
+		}
+	}
+	if best < 50 {
+		t.Errorf("no partition point accepts a majority (best %v%%)", best)
+	}
+	if bestIdx == len(tb.Rows)-1 {
+		t.Error("largest staging budget is optimal — activation starvation not modeled?")
+	}
+}
+
+func TestT8BoundsAreSound(t *testing.T) {
+	tb := mustRun(t, "T8")
+	for _, row := range tb.Rows {
+		if row[5] == "-" {
+			continue
+		}
+		minRatio, _ := strconv.ParseFloat(row[5], 64)
+		if minRatio < 1.0 {
+			t.Errorf("U=%s %s: min bound/observed ratio %v < 1 (unsound!)", row[0], row[1], minRatio)
+		}
+	}
+}
+
+func TestT9HasAllKnobs(t *testing.T) {
+	tb := mustRun(t, "T9")
+	knobs := map[string]int{}
+	for _, row := range tb.Rows {
+		knobs[row[0]]++
+	}
+	if knobs["depth"] != 4 || knobs["dma-arb"] != 2 || knobs["priorities"] != 2 {
+		t.Fatalf("knob coverage: %v", knobs)
+	}
+}
+
+func TestF10CaseStudyRuns(t *testing.T) {
+	tb := mustRun(t, "F10")
+	if len(tb.Rows) != 5*3 {
+		t.Fatalf("F10 rows = %d, want 15 (5 policies × 3 tasks)", len(tb.Rows))
+	}
+	// At this modest load no policy should miss; p95 ≤ max.
+	for _, row := range tb.Rows {
+		if row[6] != "0.0%" {
+			t.Errorf("%s/%s missed deadlines: %s", row[0], row[1], row[6])
+		}
+		mx, _ := strconv.ParseFloat(row[3], 64)
+		p95, _ := strconv.ParseFloat(row[4], 64)
+		if p95 > mx {
+			t.Errorf("%s/%s p95 %v > max %v", row[0], row[1], p95, mx)
+		}
+	}
+}
+
+func TestT11ContentionStretchesLatency(t *testing.T) {
+	tb := mustRun(t, "T11")
+	first, _ := strconv.ParseFloat(tb.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][3], 64)
+	if last <= first {
+		t.Errorf("50%% contention latency %v ≤ 0%% latency %v", last, first)
+	}
+}
+
+func TestF12BothVariantsProduceVerdicts(t *testing.T) {
+	tb := mustRun(t, "F12")
+	// Columns: util, fp-sched, fp-missing, edf-sched, edf-missing.
+	fp := percentage(t, tb.Rows[0][1])
+	edf := percentage(t, tb.Rows[0][3])
+	if fp == 0 && edf == 0 {
+		t.Error("both RT-MDM variants reject everything at U=0.2")
+	}
+	// At the lowest utilization neither runtime misses.
+	if percentage(t, tb.Rows[0][2]) != 0 || percentage(t, tb.Rows[0][4]) != 0 {
+		t.Error("empirical misses at U=0.2")
+	}
+}
+
+func TestT13GranularityTradeoff(t *testing.T) {
+	tb := mustRun(t, "T13")
+	if len(tb.Rows) != 5 {
+		t.Fatalf("T13 rows = %d", len(tb.Rows))
+	}
+	// At 50 µs switch cost (last column), the finest granularity must not
+	// beat the coarsest by much — switching eats the blocking gains — and
+	// with zero switch cost (column 1) finer is never substantially worse
+	// than the 4 ms extreme.
+	last := len(tb.Columns) - 1
+	fine50 := percentage(t, tb.Rows[0][last])
+	coarse50 := percentage(t, tb.Rows[len(tb.Rows)-1][last])
+	fine0 := percentage(t, tb.Rows[0][1])
+	if fine0 == 0 && coarse50 == 0 && fine50 == 0 {
+		t.Skip("quick config too small to resolve the tradeoff")
+	}
+	if fine0 < percentage(t, tb.Rows[len(tb.Rows)-1][1])-25 {
+		t.Errorf("zero-switch fine granularity collapsed: %v", fine0)
+	}
+}
+
+func TestF13PlatformsCompared(t *testing.T) {
+	tb := mustRun(t, "F13")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("F13 rows = %d", len(tb.Rows))
+	}
+	// The H743 must deploy and schedule the case study cleanly.
+	for _, row := range tb.Rows {
+		if row[0] == "stm32h743" {
+			if row[4] != "yes" || row[5] != "true" || row[6] != "0" {
+				t.Errorf("h743 case study row: %v", row)
+			}
+		}
+	}
+}
+
+func TestT16CacheMonotone(t *testing.T) {
+	tb := mustRun(t, "T16")
+	// mobilenet latency: off ≤ 64KiB rows... rows are ordered off, 4K,
+	// 16K, 64K; the 4K row must be the slowest of the cached rows.
+	l4, _ := strconv.ParseFloat(tb.Rows[1][1], 64)
+	l64, _ := strconv.ParseFloat(tb.Rows[3][1], 64)
+	if l4 < l64 {
+		t.Fatalf("4KiB cache faster than 64KiB: %v < %v", l4, l64)
+	}
+	off, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	if off > l64 {
+		t.Fatalf("disabled cache slower than 64KiB: %v > %v", off, l64)
+	}
+}
+
+func TestT17EnergyNeutral(t *testing.T) {
+	tb := mustRun(t, "T17")
+	// Flash traffic identical across policies; energy within 2%.
+	flash0, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	e0, _ := strconv.ParseFloat(tb.Rows[0][4], 64)
+	for _, row := range tb.Rows[1:] {
+		f, _ := strconv.ParseFloat(row[1], 64)
+		e, _ := strconv.ParseFloat(row[4], 64)
+		if f != flash0 {
+			t.Errorf("%s: flash %v != %v", row[0], f, flash0)
+		}
+		if e < 0.98*e0 || e > 1.02*e0 {
+			t.Errorf("%s: energy %v vs %v (not neutral)", row[0], e, e0)
+		}
+	}
+}
+
+func TestSimHorizonBounds(t *testing.T) {
+	cfg := QuickConfig()
+	specs, err := genSpecs(cfg, 0.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := specs[0].Instantiate(cfg.Platform, core.RTMDM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := simHorizon(s, cfg.MaxHorizon)
+	if h <= 0 || h > cfg.MaxHorizon {
+		t.Fatalf("horizon %v outside (0, %v]", h, cfg.MaxHorizon)
+	}
+	var maxT sim.Duration
+	for _, tk := range s.Tasks {
+		if tk.Period > maxT {
+			maxT = tk.Period
+		}
+	}
+	want := maxT
+	if cfg.MaxHorizon < want {
+		want = cfg.MaxHorizon
+	}
+	if h < want {
+		t.Fatalf("horizon %v shorter than min(longest period, cap) = %v", h, want)
+	}
+}
+
+func TestAcceptedPipelineStages(t *testing.T) {
+	cfg := QuickConfig()
+	specs, err := genSpecs(cfg, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, v, s := accepted(specs[0], cfg.Platform, core.RTMDM())
+	if s == nil {
+		t.Fatal("instantiation failed for a generated spec")
+	}
+	if ok && (v == nil || !v.Schedulable) {
+		t.Fatal("accepted without a positive verdict")
+	}
+	// A policy without analysis must be rejected with the set preserved.
+	ok2, v2, s2 := accepted(specs[0], cfg.Platform, core.SerialSegEDF())
+	if ok2 || v2 != nil || s2 == nil {
+		t.Fatalf("serial EDF acceptance: ok=%v verdict=%v set=%v", ok2, v2, s2 != nil)
+	}
+}
+
+func TestT18TuningNeverHurts(t *testing.T) {
+	tb := mustRun(t, "T18")
+	for _, row := range tb.Rows {
+		fixed := percentage(t, row[1])
+		tuned := percentage(t, row[2])
+		if tuned < fixed {
+			t.Errorf("U=%s: tuned δ acceptance %v%% < fixed %v%%", row[0], tuned, fixed)
+		}
+	}
+}
+
+func TestF19TighterDeadlinesNeverHelp(t *testing.T) {
+	tb := mustRun(t, "F19")
+	prev := 1e9
+	for _, row := range tb.Rows {
+		rt := percentage(t, row[3])
+		if rt > prev+20 { // sampling slack at quick scale
+			t.Errorf("rt-mdm acceptance rose as deadlines tightened: %v after %v", rt, prev)
+		}
+		prev = rt
+	}
+}
+
+func TestF20JitterDegradesMonotonically(t *testing.T) {
+	tb := mustRun(t, "F20")
+	prev := 1e9
+	for _, row := range tb.Rows {
+		rt := percentage(t, row[3])
+		if rt > prev+20 {
+			t.Errorf("rt-mdm acceptance rose with jitter: %v after %v", rt, prev)
+		}
+		prev = rt
+		// Empirical misses stay at zero for accepted-dominated regimes at
+		// this utilization.
+		if miss := percentage(t, row[4]); miss > 25 {
+			t.Errorf("jitter %s: rt-mdm missing in %v%% of sets at U=0.5", row[0], miss)
+		}
+	}
+}
+
+func TestT21SpreadIsTight(t *testing.T) {
+	tb := mustRun(t, "T21")
+	// At quick scale wide spreads are expected; just verify the format
+	// and that the ranges are ordered.
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			var lo, hi float64
+			if _, err := fmt.Sscanf(cell, "%f..%f%%", &lo, &hi); err != nil {
+				t.Fatalf("bad range cell %q: %v", cell, err)
+			}
+			if lo > hi {
+				t.Fatalf("inverted range %q", cell)
+			}
+		}
+	}
+}
+
+func TestT22GreedyNeverMoreSegments(t *testing.T) {
+	tb := mustRun(t, "T22")
+	for _, row := range tb.Rows {
+		g, _ := strconv.Atoi(row[1])
+		p, _ := strconv.Atoi(row[2])
+		if g > p {
+			t.Errorf("%s: greedy %d segments > per-layer %d", row[0], g, p)
+		}
+		gs, _ := strconv.ParseFloat(row[3], 64)
+		ps, _ := strconv.ParseFloat(row[4], 64)
+		if gs > ps+0.001 {
+			t.Errorf("%s: greedy serial %v > per-layer %v", row[0], gs, ps)
+		}
+	}
+}
+
+// T23: joint exploration must never rescue fewer sets than the fixed
+// reference configuration, and the recommended margin must not grow as
+// load rises.
+func TestT23ExplorationNeverHurts(t *testing.T) {
+	tb := mustRun(t, "T23")
+	prevAlpha := 1e9
+	for _, row := range tb.Rows {
+		fixed := percentage(t, row[1])
+		explored := percentage(t, row[2])
+		if explored < fixed {
+			t.Errorf("U=%s: explored acceptance %v%% < fixed %v%%", row[0], explored, fixed)
+		}
+		if row[4] != "-" {
+			var a float64
+			if _, err := fmt.Sscanf(row[4], "%f", &a); err != nil {
+				t.Fatalf("bad alpha cell %q", row[4])
+			}
+			if a > prevAlpha+0.15 { // quick-scale slack
+				t.Errorf("recommended α rose with load: %v after %v", a, prevAlpha)
+			}
+			prevAlpha = a
+		}
+	}
+}
+
+// T24: tuned per-task windows must dominate uniform depth 2 in acceptance
+// (the lattice contains it), the cheapest accepted assignment must not
+// cost more staging than uniform depth 2, and the depth gradient must
+// point the right way (top-priority windows at least as deep as
+// bottom-priority ones).
+func TestT24TunedWindowsDominate(t *testing.T) {
+	tb := mustRun(t, "T24")
+	for _, row := range tb.Rows {
+		d2 := percentage(t, row[1])
+		tuned := percentage(t, row[3])
+		if tuned < d2 {
+			t.Errorf("U=%s: tuned %v%% < uniform-d2 %v%%", row[0], tuned, d2)
+		}
+		if row[4] == "-" {
+			continue
+		}
+		var cheap, d2kb, top, bot float64
+		if _, err := fmt.Sscanf(row[4], "%f", &cheap); err != nil {
+			t.Fatalf("bad cheapest cell %q", row[4])
+		}
+		if _, err := fmt.Sscanf(row[5], "%f", &d2kb); err != nil {
+			t.Fatalf("bad d2-staging cell %q", row[5])
+		}
+		if cheap > d2kb {
+			t.Errorf("U=%s: cheapest accepted staging %v KiB > uniform-d2 %v KiB", row[0], cheap, d2kb)
+		}
+		if _, err := fmt.Sscanf(row[6], "%f", &top); err != nil {
+			t.Fatalf("bad top-depth cell %q", row[6])
+		}
+		if _, err := fmt.Sscanf(row[7], "%f", &bot); err != nil {
+			t.Fatalf("bad bottom-depth cell %q", row[7])
+		}
+		if top < bot {
+			t.Errorf("U=%s: depth gradient inverted: top %v < bottom %v", row[0], top, bot)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package expr is the evaluation harness: one registered experiment per
+// reconstructed table/figure of the paper (see DESIGN.md §6), each
+// producing a Table that renders as aligned text or CSV.
+package expr
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of string cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries caveats and reading hints, printed under the grid.
+	Notes string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len([]rune(c)))
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"rtmdm/internal/nn"
+)
+
+// convPC appends a per-output-channel-quantized 1x1/3x3 convolution — the
+// TFLite int8 convention — with deterministic per-channel scale variation
+// around the He value.
+func (g *gen) convPC(outC, kh, kw, stride int, pad nn.Padding, relu bool) {
+	in := g.b.LastShape()
+	fanIn := kh * kw * in.C
+	base := wScale(fanIn, relu)
+	scales := make([]float64, outC)
+	for i := range scales {
+		// ±30% deterministic spread, as real per-channel calibration shows.
+		scales[i] = base * (0.7 + 0.6*g.rng.Float64())
+	}
+	l := nn.NewConv2DPerChannel(g.name("conv"), in, outC, kh, kw, stride, pad,
+		g.b.LastQuant(), scales, actQ,
+		g.weights(outC*kh*kw*in.C), g.bias(outC), relu)
+	g.b.Add(l)
+}
+
+// MobileNetV2Micro is a width-trimmed MobileNetV2-style network with
+// inverted-residual bottlenecks on 96x96x3, using per-channel quantized
+// pointwise convolutions. ≈ 45 K parameters, ≈ 6 M MACs.
+func MobileNetV2Micro(seed int64) *nn.Model {
+	g := newGen("mobilenetv2-micro", nn.Shape{H: 96, W: 96, C: 3}, seed)
+	g.convPC(8, 3, 3, 2, nn.PadSame, true) // stem → 48x48x8
+
+	// Inverted residual: expand (1x1, ×t), depthwise (3x3, stride s),
+	// project (1x1, linear), residual add when shapes allow.
+	block := func(t, outC, stride int) {
+		inIdx := g.b.Last()
+		inShape := g.b.LastShape()
+		inQ := g.b.LastQuant()
+		g.convPC(t*inShape.C, 1, 1, 1, nn.PadSame, true) // expand
+		g.dw(3, stride, nn.PadSame, true)                // depthwise
+		g.convPC(outC, 1, 1, 1, nn.PadSame, false)       // project (linear)
+		if stride == 1 && inShape.C == outC {
+			proj := g.b.Last()
+			add := nn.NewAdd(g.name("add"), g.b.NodeShape(proj), g.b.NodeQuant(proj), inQ, actQ, false)
+			g.b.Add(add, proj, inIdx)
+		}
+	}
+	block(1, 8, 1)  // 48x48x8
+	block(6, 12, 2) // 24x24x12
+	block(6, 12, 1)
+	block(6, 16, 2) // 12x12x16
+	block(6, 16, 1)
+	block(6, 24, 2) // 6x6x24
+	block(6, 24, 1)
+	block(6, 32, 1) // 6x6x32
+	g.gap()
+	g.dense(10, false)
+	g.softmax()
+	return g.b.MustBuild()
+}
+
+// SqueezeNetMicro is a fire-module network on 32x32x3 exercising channel
+// concatenation. ≈ 9 K parameters, ≈ 3 M MACs.
+func SqueezeNetMicro(seed int64) *nn.Model {
+	g := newGen("squeezenet-micro", nn.Shape{H: 32, W: 32, C: 3}, seed)
+	g.conv(16, 3, 3, 1, nn.PadSame, true)
+	g.maxpool(2, 2) // 16x16x16
+
+	// fire: squeeze 1x1 → {expand 1x1, expand 3x3} → concat.
+	fire := func(squeeze, expand int) {
+		g.convPC(squeeze, 1, 1, 1, nn.PadSame, true)
+		sq := g.b.Last()
+		sqShape := g.b.NodeShape(sq)
+		g.convPC(expand, 1, 1, 1, nn.PadSame, true)
+		e1 := g.b.Last()
+		// Rewind the chain: the 3x3 expansion consumes the squeeze output
+		// too, not e1.
+		fanIn := 3 * 3 * sqShape.C
+		l3 := nn.NewConv2D(g.name("conv"), sqShape, expand, 3, 3, 1, nn.PadSame,
+			g.b.NodeQuant(sq), nn.QuantParams{Scale: wScale(fanIn, true)}, actQ,
+			g.weights(expand*3*3*sqShape.C), g.bias(expand), true)
+		e3 := g.b.Add(l3, sq)
+		cat := nn.NewConcat(g.name("concat"), g.b.NodeShape(e1), g.b.NodeShape(e3),
+			g.b.NodeQuant(e1), g.b.NodeQuant(e3), actQ)
+		g.b.Add(cat, e1, e3)
+	}
+	fire(8, 16) // 16x16x32
+	fire(8, 16)
+	g.maxpool(2, 2) // 8x8x32
+	fire(16, 24)    // 8x8x48
+	g.gap()
+	g.dense(10, false)
+	g.softmax()
+	return g.b.MustBuild()
+}

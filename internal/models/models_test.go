@@ -1,0 +1,233 @@
+package models
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rtmdm/internal/nn"
+)
+
+// expected magnitude windows for the zoo, anchored on the published
+// MLPerf-Tiny reference models (int8 parameter bytes and MACs).
+var expect = map[string]struct {
+	minParams, maxParams int64
+	minMACs, maxMACs     int64
+}{
+	"mobilenetv1-0.25":  {150_000, 350_000, 5_000_000, 12_000_000},
+	"resnet8":           {60_000, 120_000, 8_000_000, 16_000_000},
+	"ds-cnn":            {18_000, 40_000, 1_500_000, 6_000_000},
+	"autoencoder":       {250_000, 320_000, 200_000, 400_000},
+	"lenet5":            {50_000, 90_000, 200_000, 2_000_000},
+	"tinymlp":           {35_000, 60_000, 30_000, 100_000},
+	"mobilenetv2-micro": {20_000, 80_000, 2_000_000, 12_000_000},
+	"squeezenet-micro":  {6_000, 60_000, 1_000_000, 10_000_000},
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(expect) {
+		t.Fatalf("catalog has %d entries, want %d", len(names), len(expect))
+	}
+	for _, n := range names {
+		if _, ok := expect[n]; !ok {
+			t.Fatalf("unexpected catalog entry %q", n)
+		}
+	}
+	// Names must be sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestAllModelsValidateAndAccount(t *testing.T) {
+	for _, info := range Catalog() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			m := info.Build(42)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			e := expect[info.Name]
+			p, macs := m.TotalParamBytes(), m.TotalMACs()
+			if p < e.minParams || p > e.maxParams {
+				t.Errorf("param bytes = %d, want in [%d, %d]", p, e.minParams, e.maxParams)
+			}
+			if macs < e.minMACs || macs > e.maxMACs {
+				t.Errorf("MACs = %d, want in [%d, %d]", macs, e.minMACs, e.maxMACs)
+			}
+			if m.PeakActivationBytes() <= 0 {
+				t.Error("peak activation bytes not positive")
+			}
+		})
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	m, err := Build("ds-cnn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "ds-cnn" {
+		t.Fatalf("built %q", m.Name)
+	}
+	if _, err := Build("nonexistent", 1); err == nil {
+		t.Fatal("unknown model did not error")
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, info := range Catalog() {
+		a := info.Build(7)
+		b := info.Build(7)
+		if a.TotalParamBytes() != b.TotalParamBytes() {
+			t.Fatalf("%s: param bytes differ across builds", info.Name)
+		}
+		// Compare the first conv/dense weights bit-for-bit.
+		wa, ok1 := firstWeights(a)
+		wb, ok2 := firstWeights(b)
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: no weighted layer found", info.Name)
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("%s: weights differ at %d with same seed", info.Name, i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentWeights(t *testing.T) {
+	a, _ := firstWeights(DSCNN(1))
+	b, _ := firstWeights(DSCNN(2))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestDifferentModelsDifferentStreams(t *testing.T) {
+	// Same seed, different model names must not share the weight stream.
+	a, _ := firstWeights(Autoencoder(3))
+	b, _ := firstWeights(TinyMLP(3))
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	same := true
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two models with the same seed share a weight stream")
+	}
+}
+
+func firstWeights(m *nn.Model) ([]int8, bool) {
+	for _, nd := range m.Nodes {
+		switch l := nd.Layer.(type) {
+		case *nn.Conv2D:
+			return l.Weights, true
+		case *nn.Dense:
+			return l.Weights, true
+		}
+	}
+	return nil, false
+}
+
+func TestAllModelsExecuteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full inference in -short mode")
+	}
+	for _, info := range Catalog() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			m := info.Build(42)
+			rng := rand.New(rand.NewSource(99))
+			x := nn.NewTensor(m.Input, m.InQuant)
+			for i := range x.Data {
+				x.Data[i] = int8(rng.Intn(255) - 127)
+			}
+			y := m.Forward(x)
+			if y.Shape != m.OutShape() {
+				t.Fatalf("output shape %v, want %v", y.Shape, m.OutShape())
+			}
+			// Output must not be a degenerate constant (all equal would
+			// suggest systematic saturation through the whole net).
+			allEq := true
+			for i := 1; i < len(y.Data); i++ {
+				if y.Data[i] != y.Data[0] {
+					allEq = false
+					break
+				}
+			}
+			if allEq && len(y.Data) > 1 {
+				t.Errorf("output is constant %d over %d elems (saturation collapse?)", y.Data[0], len(y.Data))
+			}
+		})
+	}
+}
+
+func TestActivationsStayInRange(t *testing.T) {
+	// The wScale heuristic should keep intermediate activations from
+	// collapsing to full saturation: check the logits (pre-softmax) of a
+	// mid-size model are not all ±127.
+	m := ResNet8(5)
+	rng := rand.New(rand.NewSource(123))
+	x := nn.NewTensor(m.Input, m.InQuant)
+	for i := range x.Data {
+		x.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	y := m.Forward(x)
+	sat := 0
+	for _, v := range y.Data {
+		if v == 127 || v == -128 {
+			sat++
+		}
+	}
+	if sat == len(y.Data) {
+		t.Fatalf("all %d outputs saturated", len(y.Data))
+	}
+}
+
+func TestZooSerializationRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo round trips in -short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, info := range Catalog() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			m := info.Build(13)
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := nn.Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := nn.NewTensor(m.Input, m.InQuant)
+			for i := range x.Data {
+				x.Data[i] = int8(rng.Intn(255) - 127)
+			}
+			a, b := m.Forward(x), got.Forward(x)
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("loaded model diverges at %d", i)
+				}
+			}
+		})
+	}
+}

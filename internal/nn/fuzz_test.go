@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzModelLoad asserts the binary decoder never panics on arbitrary
+// input — it must fail with an error instead. The seed corpus includes a
+// valid artifact and targeted corruptions.
+func FuzzModelLoad(f *testing.F) {
+	m := fuzzSeedModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("RTMDM1\n"))
+	f.Add(valid[:len(valid)/2])
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/3] ^= 0x5a
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Fatal("nil model without error")
+		}
+		if err == nil {
+			// Anything the decoder accepts must be a valid, executable
+			// graph.
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("accepted model fails validation: %v", verr)
+			}
+		}
+	})
+}
+
+func fuzzSeedModel() *Model {
+	rng := rand.New(rand.NewSource(3))
+	qp := QuantParams{Scale: 1.0 / 32, Zero: 0}
+	in := Shape{4, 4, 1}
+	b := NewBuilder("fuzz", in, qp)
+	w := make([]int8, 2*9*1)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	b.Add(NewConv2D("c", in, 2, 3, 3, 1, PadSame, qp, QuantParams{Scale: 0.01}, qp,
+		w, make([]int32, 2), true))
+	b.Add(NewGlobalAvgPool("g", Shape{4, 4, 2}, qp, qp))
+	return b.MustBuild()
+}

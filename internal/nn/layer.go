@@ -1,0 +1,371 @@
+package nn
+
+import "fmt"
+
+// Kind identifies a layer's operator type; the cost model keys per-type
+// efficiency factors off it.
+type Kind int
+
+const (
+	KindConv2D Kind = iota
+	KindDWConv2D
+	KindDense
+	KindMaxPool
+	KindAvgPool
+	KindAdd
+	KindReLU
+	KindSoftmax
+	KindFlatten
+	KindConcat
+	KindPad
+)
+
+var kindNames = map[Kind]string{
+	KindConv2D:   "conv2d",
+	KindDWConv2D: "dwconv2d",
+	KindDense:    "dense",
+	KindMaxPool:  "maxpool",
+	KindAvgPool:  "avgpool",
+	KindAdd:      "add",
+	KindReLU:     "relu",
+	KindSoftmax:  "softmax",
+	KindFlatten:  "flatten",
+	KindConcat:   "concat",
+	KindPad:      "pad",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Padding selects the spatial padding policy of convolution and pooling.
+type Padding int
+
+const (
+	// PadValid applies no padding; the output shrinks.
+	PadValid Padding = iota
+	// PadSame zero-pads so that OutDim = ceil(InDim/Stride).
+	PadSame
+)
+
+// Layer is one operator in a model graph. All shape, parameter and MAC
+// accounting is static: it is fixed when the layer is constructed, so the
+// scheduling layers of the system never need to execute a kernel to cost it.
+type Layer interface {
+	// Name returns the unique layer name within its model.
+	Name() string
+	// Kind returns the operator type.
+	Kind() Kind
+	// Arity returns how many input tensors Forward expects.
+	Arity() int
+	// InShape returns the expected shape of the primary input.
+	InShape() Shape
+	// OutShape returns the produced shape.
+	OutShape() Shape
+	// ParamBytes returns the bytes of parameters (weights + biases) that
+	// must be resident in SRAM before the layer can execute. Zero for
+	// parameter-free operators.
+	ParamBytes() int64
+	// MACs returns the multiply-accumulate count of one execution; for
+	// parameter-free operators it returns the element-operation count.
+	MACs() int64
+	// OutQuant returns the output tensor quantization.
+	OutQuant() QuantParams
+	// Forward executes the layer on quantized inputs.
+	Forward(ins ...*Tensor) *Tensor
+}
+
+// base carries the bookkeeping shared by all layer implementations.
+type base struct {
+	name     string
+	kind     Kind
+	in, out  Shape
+	outQuant QuantParams
+}
+
+func (b *base) Name() string          { return b.name }
+func (b *base) Kind() Kind            { return b.kind }
+func (b *base) Arity() int            { return 1 }
+func (b *base) InShape() Shape        { return b.in }
+func (b *base) OutShape() Shape       { return b.out }
+func (b *base) OutQuant() QuantParams { return b.outQuant }
+
+func checkInput(l Layer, ins []*Tensor) {
+	if len(ins) != l.Arity() {
+		panic(fmt.Sprintf("nn: layer %s expects %d inputs, got %d", l.Name(), l.Arity(), len(ins)))
+	}
+	if ins[0].Shape != l.InShape() {
+		panic(fmt.Sprintf("nn: layer %s expects input %v, got %v", l.Name(), l.InShape(), ins[0].Shape))
+	}
+}
+
+// convOutDim computes one spatial output dimension.
+func convOutDim(in, k, stride int, pad Padding) int {
+	switch pad {
+	case PadSame:
+		return (in + stride - 1) / stride
+	default:
+		return (in-k)/stride + 1
+	}
+}
+
+// padBefore computes the leading pad for PadSame along one dimension.
+func padBefore(in, k, stride int, pad Padding) int {
+	if pad != PadSame {
+		return 0
+	}
+	out := convOutDim(in, k, stride, pad)
+	total := (out-1)*stride + k - in
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+// Conv2D is a standard 2-D convolution with optional fused ReLU.
+//
+// Quantization is per-tensor by default (WQuant applies to every output
+// channel). Setting WScales switches to TFLite-style per-output-channel
+// weight quantization: channel oc uses scale WScales[oc], and WQuant.Scale
+// is ignored (the weight zero point stays 0, as int8 conv requires).
+type Conv2D struct {
+	base
+	KH, KW, Stride int
+	Pad            Padding
+	InQuant        QuantParams
+	WQuant         QuantParams
+	// WScales, when non-nil, holds one weight scale per output channel.
+	WScales []float64
+	// Weights laid out [OutC][KH][KW][InC].
+	Weights []int8
+	// Bias is in the accumulator domain (scale = InQuant.Scale·wscale(oc)).
+	Bias []int32
+	ReLU bool
+}
+
+// wScale returns the weight scale of output channel oc.
+func (l *Conv2D) wScale(oc int) float64 {
+	if l.WScales != nil {
+		return l.WScales[oc]
+	}
+	return l.WQuant.Scale
+}
+
+// NewConv2D constructs a convolution layer. Weights and bias lengths must
+// match the declared geometry.
+func NewConv2D(name string, in Shape, outC, kh, kw, stride int, pad Padding,
+	inQ, wQ, outQ QuantParams, weights []int8, bias []int32, relu bool) *Conv2D {
+	if stride <= 0 || kh <= 0 || kw <= 0 || outC <= 0 {
+		panic(fmt.Sprintf("nn: conv2d %s invalid geometry", name))
+	}
+	want := outC * kh * kw * in.C
+	if len(weights) != want {
+		panic(fmt.Sprintf("nn: conv2d %s weights len %d, want %d", name, len(weights), want))
+	}
+	if len(bias) != outC {
+		panic(fmt.Sprintf("nn: conv2d %s bias len %d, want %d", name, len(bias), outC))
+	}
+	out := Shape{convOutDim(in.H, kh, stride, pad), convOutDim(in.W, kw, stride, pad), outC}
+	if !out.Valid() {
+		panic(fmt.Sprintf("nn: conv2d %s produces invalid shape %v from %v", name, out, in))
+	}
+	return &Conv2D{
+		base: base{name: name, kind: KindConv2D, in: in, out: out, outQuant: outQ},
+		KH:   kh, KW: kw, Stride: stride, Pad: pad,
+		InQuant: inQ, WQuant: wQ, Weights: weights, Bias: bias, ReLU: relu,
+	}
+}
+
+// NewConv2DPerChannel constructs a convolution with per-output-channel
+// weight scales (TFLite int8 convention).
+func NewConv2DPerChannel(name string, in Shape, outC, kh, kw, stride int, pad Padding,
+	inQ QuantParams, wScales []float64, outQ QuantParams,
+	weights []int8, bias []int32, relu bool) *Conv2D {
+	if len(wScales) != outC {
+		panic(fmt.Sprintf("nn: conv2d %s wScales len %d, want %d", name, len(wScales), outC))
+	}
+	l := NewConv2D(name, in, outC, kh, kw, stride, pad, inQ, QuantParams{}, outQ, weights, bias, relu)
+	l.WScales = append([]float64(nil), wScales...)
+	return l
+}
+
+func (l *Conv2D) ParamBytes() int64 { return int64(len(l.Weights)) + 4*int64(len(l.Bias)) }
+
+func (l *Conv2D) MACs() int64 {
+	return int64(l.out.H) * int64(l.out.W) * int64(l.out.C) *
+		int64(l.KH) * int64(l.KW) * int64(l.in.C)
+}
+
+func (l *Conv2D) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	mults := make([]float64, l.out.C)
+	for oc := range mults {
+		mults[oc] = l.InQuant.Scale * l.wScale(oc) / l.outQuant.Scale
+	}
+	ph := padBefore(l.in.H, l.KH, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.KW, l.Stride, l.Pad)
+	inZ := l.InQuant.Zero
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for oc := 0; oc < l.out.C; oc++ {
+				acc := l.Bias[oc]
+				wBase := oc * l.KH * l.KW * l.in.C
+				for kh := 0; kh < l.KH; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						xi := (ih*l.in.W + iw) * l.in.C
+						wi := wBase + (kh*l.KW+kw)*l.in.C
+						for ic := 0; ic < l.in.C; ic++ {
+							acc += (int32(x.Data[xi+ic]) - inZ) * int32(l.Weights[wi+ic])
+						}
+					}
+				}
+				out.Set(oh, ow, oc, requantize(acc, mults[oc], l.outQuant.Zero, l.ReLU))
+			}
+		}
+	}
+	return out
+}
+
+// DWConv2D is a depthwise 2-D convolution (channel multiplier 1).
+type DWConv2D struct {
+	base
+	KH, KW, Stride int
+	Pad            Padding
+	InQuant        QuantParams
+	WQuant         QuantParams
+	// Weights laid out [KH][KW][C].
+	Weights []int8
+	Bias    []int32
+	ReLU    bool
+}
+
+// NewDWConv2D constructs a depthwise convolution layer.
+func NewDWConv2D(name string, in Shape, kh, kw, stride int, pad Padding,
+	inQ, wQ, outQ QuantParams, weights []int8, bias []int32, relu bool) *DWConv2D {
+	want := kh * kw * in.C
+	if len(weights) != want {
+		panic(fmt.Sprintf("nn: dwconv2d %s weights len %d, want %d", name, len(weights), want))
+	}
+	if len(bias) != in.C {
+		panic(fmt.Sprintf("nn: dwconv2d %s bias len %d, want %d", name, len(bias), in.C))
+	}
+	out := Shape{convOutDim(in.H, kh, stride, pad), convOutDim(in.W, kw, stride, pad), in.C}
+	if !out.Valid() {
+		panic(fmt.Sprintf("nn: dwconv2d %s produces invalid shape %v from %v", name, out, in))
+	}
+	return &DWConv2D{
+		base: base{name: name, kind: KindDWConv2D, in: in, out: out, outQuant: outQ},
+		KH:   kh, KW: kw, Stride: stride, Pad: pad,
+		InQuant: inQ, WQuant: wQ, Weights: weights, Bias: bias, ReLU: relu,
+	}
+}
+
+func (l *DWConv2D) ParamBytes() int64 { return int64(len(l.Weights)) + 4*int64(len(l.Bias)) }
+
+func (l *DWConv2D) MACs() int64 {
+	return int64(l.out.H) * int64(l.out.W) * int64(l.out.C) * int64(l.KH) * int64(l.KW)
+}
+
+func (l *DWConv2D) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	m := l.InQuant.Scale * l.WQuant.Scale / l.outQuant.Scale
+	ph := padBefore(l.in.H, l.KH, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.KW, l.Stride, l.Pad)
+	inZ := l.InQuant.Zero
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for c := 0; c < l.out.C; c++ {
+				acc := l.Bias[c]
+				for kh := 0; kh < l.KH; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						w := l.Weights[(kh*l.KW+kw)*l.in.C+c]
+						acc += (int32(x.At(ih, iw, c)) - inZ) * int32(w)
+					}
+				}
+				out.Set(oh, ow, c, requantize(acc, m, l.outQuant.Zero, l.ReLU))
+			}
+		}
+	}
+	return out
+}
+
+// Dense is a fully-connected layer over a flattened input.
+type Dense struct {
+	base
+	InQuant QuantParams
+	WQuant  QuantParams
+	// Weights laid out [Out][In].
+	Weights []int8
+	Bias    []int32
+	ReLU    bool
+}
+
+// NewDense constructs a fully-connected layer; the input shape is flattened.
+func NewDense(name string, in Shape, outN int,
+	inQ, wQ, outQ QuantParams, weights []int8, bias []int32, relu bool) *Dense {
+	inN := in.Elems()
+	if len(weights) != inN*outN {
+		panic(fmt.Sprintf("nn: dense %s weights len %d, want %d", name, len(weights), inN*outN))
+	}
+	if len(bias) != outN {
+		panic(fmt.Sprintf("nn: dense %s bias len %d, want %d", name, len(bias), outN))
+	}
+	return &Dense{
+		base:    base{name: name, kind: KindDense, in: in, out: Shape{1, 1, outN}, outQuant: outQ},
+		InQuant: inQ, WQuant: wQ, Weights: weights, Bias: bias, ReLU: relu,
+	}
+}
+
+func (l *Dense) ParamBytes() int64 { return int64(len(l.Weights)) + 4*int64(len(l.Bias)) }
+
+func (l *Dense) MACs() int64 { return int64(l.in.Elems()) * int64(l.out.C) }
+
+func (l *Dense) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	m := l.InQuant.Scale * l.WQuant.Scale / l.outQuant.Scale
+	inN := l.in.Elems()
+	inZ := l.InQuant.Zero
+	for o := 0; o < l.out.C; o++ {
+		acc := l.Bias[o]
+		wBase := o * inN
+		for i := 0; i < inN; i++ {
+			acc += (int32(x.Data[i]) - inZ) * int32(l.Weights[wBase+i])
+		}
+		out.Data[o] = requantize(acc, m, l.outQuant.Zero, l.ReLU)
+	}
+	return out
+}
+
+// requantize scales an int32 accumulator into the int8 output domain.
+func requantize(acc int32, multiplier float64, outZero int32, relu bool) int8 {
+	v := clampInt32Range(roundHalfAwayFromZero(float64(acc)*multiplier)) + outZero
+	if relu && v < outZero {
+		v = outZero
+	}
+	return satInt8(v)
+}

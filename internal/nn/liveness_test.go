@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLiveBytesChain(t *testing.T) {
+	// input(16) → relu(16) → flatten(16) → softmax needs 1x1xC… use a
+	// simple chain: input 2x2x4 → relu → gap(4).
+	qp := q(1.0/32, 0)
+	in := Shape{2, 2, 4}
+	b := NewBuilder("live", in, qp)
+	b.Add(NewReLU("r", in, qp))
+	b.Add(NewGlobalAvgPool("g", in, qp, qp))
+	m := b.MustBuild()
+
+	// After node 0 (relu): its output (16) is needed by gap; input dead.
+	if got := m.LiveBytesAfter(0); got != 16 {
+		t.Fatalf("LiveBytesAfter(relu) = %d, want 16", got)
+	}
+	// After node 1 (gap, the output): only the model output (4) remains.
+	if got := m.LiveBytesAfter(1); got != 4 {
+		t.Fatalf("LiveBytesAfter(gap) = %d, want 4", got)
+	}
+	// During node 1: relu output (16) + gap output (4).
+	if got := m.LiveBytesDuring(1); got != 20 {
+		t.Fatalf("LiveBytesDuring(gap) = %d, want 20", got)
+	}
+	// During node 0: model input (16) + relu output (16).
+	if got := m.LiveBytesDuring(0); got != 32 {
+		t.Fatalf("LiveBytesDuring(relu) = %d, want 32", got)
+	}
+	// Out-of-range queries are zero.
+	if m.LiveBytesAfter(-1) != 0 || m.LiveBytesAfter(99) != 0 ||
+		m.LiveBytesDuring(-1) != 0 || m.LiveBytesDuring(99) != 0 {
+		t.Fatal("out-of-range liveness not zero")
+	}
+}
+
+func TestLiveBytesSkipConnection(t *testing.T) {
+	// input → c1 → c2 → add(c1, c2): c1's output must stay live across c2.
+	rng := rand.New(rand.NewSource(2))
+	qp := q(1.0/32, 0)
+	in := Shape{4, 4, 2}
+	b := NewBuilder("skip", in, qp)
+	mk := func(name string) *Conv2D {
+		return NewConv2D(name, in, 2, 3, 3, 1, PadSame, qp, q(0.01, 0), qp,
+			randWeights(rng, 2*9*2), randBias(rng, 2, 10), true)
+	}
+	n1 := b.Add(mk("c1"))
+	n2 := b.Add(mk("c2"))
+	b.Add(NewAdd("add", in, qp, qp, qp, false), n1, n2)
+	m := b.MustBuild()
+	// After c2: c1 out (32) + c2 out (32) both live for the add.
+	if got := m.LiveBytesAfter(1); got != 64 {
+		t.Fatalf("LiveBytesAfter(c2) = %d, want 64", got)
+	}
+	if m.OutShape() != in {
+		t.Fatalf("OutShape = %v", m.OutShape())
+	}
+	if m.NumLayers() != 3 {
+		t.Fatalf("NumLayers = %d", m.NumLayers())
+	}
+}
+
+func TestBuilderAccessors(t *testing.T) {
+	qp := q(1.0/32, 0)
+	in := Shape{2, 2, 1}
+	b := NewBuilder("acc", in, qp)
+	if b.Last() != -1 {
+		t.Fatal("Last before any node")
+	}
+	if b.NodeShape(-1) != in || b.NodeQuant(-1) != qp {
+		t.Fatal("NodeShape/Quant(-1) should describe the input")
+	}
+	idx := b.Add(NewReLU("r", in, qp))
+	if b.Last() != idx || b.NodeShape(idx) != in || b.NodeQuant(idx) != qp {
+		t.Fatal("builder accessors after Add")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindConv2D; k <= KindPad; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' && len(s) > 4 && s[:5] == "kind(" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	qp := q(1.0/32, 0)
+	in := Shape{4, 4, 2}
+	cases := map[string]func(){
+		"conv geometry": func() {
+			NewConv2D("c", in, 0, 3, 3, 1, PadSame, qp, qp, qp, nil, nil, false)
+		},
+		"conv weights": func() {
+			NewConv2D("c", in, 2, 3, 3, 1, PadSame, qp, qp, qp, make([]int8, 5), make([]int32, 2), false)
+		},
+		"conv bias": func() {
+			NewConv2D("c", in, 2, 3, 3, 1, PadSame, qp, qp, qp, make([]int8, 2*9*2), make([]int32, 1), false)
+		},
+		"conv shrink to nothing": func() {
+			NewConv2D("c", Shape{2, 2, 1}, 1, 5, 5, 1, PadValid, qp, qp, qp, make([]int8, 25), make([]int32, 1), false)
+		},
+		"per-channel scales": func() {
+			NewConv2DPerChannel("c", in, 2, 3, 3, 1, PadSame, qp, []float64{0.1}, qp,
+				make([]int8, 2*9*2), make([]int32, 2), false)
+		},
+		"dw weights": func() {
+			NewDWConv2D("d", in, 3, 3, 1, PadSame, qp, qp, qp, make([]int8, 5), make([]int32, 2), false)
+		},
+		"dw bias": func() {
+			NewDWConv2D("d", in, 3, 3, 1, PadSame, qp, qp, qp, make([]int8, 9*2), make([]int32, 1), false)
+		},
+		"dense weights": func() {
+			NewDense("f", in, 3, qp, qp, qp, make([]int8, 5), make([]int32, 3), false)
+		},
+		"dense bias": func() {
+			NewDense("f", in, 3, qp, qp, qp, make([]int8, 32*3), make([]int32, 1), false)
+		},
+		"softmax shape": func() {
+			NewSoftmax("s", in, qp)
+		},
+		"maxpool shrink": func() {
+			NewMaxPool2D("p", Shape{1, 1, 1}, 3, 1, PadValid, qp)
+		},
+		"avgpool shrink": func() {
+			NewAvgPool2D("p", Shape{1, 1, 1}, 3, 1, PadValid, qp, qp)
+		},
+		"pad negative": func() {
+			NewZeroPad2D("z", in, -1, 0, 0, 0, qp)
+		},
+		"tensor shape": func() {
+			NewTensor(Shape{0, 1, 1}, qp)
+		},
+		"wrong input shape": func() {
+			NewReLU("r", in, qp).Forward(NewTensor(Shape{1, 1, 1}, qp))
+		},
+	}
+	for name, f := range cases {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}

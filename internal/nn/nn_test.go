@@ -1,0 +1,527 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func q(scale float64, zero int32) QuantParams { return QuantParams{Scale: scale, Zero: zero} }
+
+func randWeights(rng *rand.Rand, n int) []int8 {
+	w := make([]int8, n)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	return w
+}
+
+func randBias(rng *rand.Rand, n, span int) []int32 {
+	b := make([]int32, n)
+	for i := range b {
+		b[i] = int32(rng.Intn(2*span+1) - span)
+	}
+	return b
+}
+
+func randInput(rng *rand.Rand, s Shape, qp QuantParams) *Tensor {
+	t := NewTensor(s, qp)
+	for i := range t.Data {
+		t.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	return t
+}
+
+func TestShapeElemsAndString(t *testing.T) {
+	s := Shape{4, 5, 6}
+	if s.Elems() != 120 {
+		t.Fatalf("Elems = %d, want 120", s.Elems())
+	}
+	if s.String() != "4x5x6" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if (Shape{0, 1, 1}).Valid() {
+		t.Fatal("zero dimension reported valid")
+	}
+}
+
+func TestQuantRoundTrip(t *testing.T) {
+	qp := q(0.05, 3)
+	for _, v := range []int8{-128, -1, 0, 3, 42, 127} {
+		r := qp.Dequant(v)
+		if got := qp.Quant(r); got != v {
+			t.Errorf("Quant(Dequant(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestQuantSaturates(t *testing.T) {
+	qp := q(0.1, 0)
+	if qp.Quant(1e9) != 127 {
+		t.Fatal("positive overflow did not saturate to 127")
+	}
+	if qp.Quant(-1e9) != -128 {
+		t.Fatal("negative overflow did not saturate to -128")
+	}
+}
+
+func TestTensorIndexing(t *testing.T) {
+	x := NewTensor(Shape{2, 3, 4}, q(1, 0))
+	x.Set(1, 2, 3, 42)
+	if x.At(1, 2, 3) != 42 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if x.Data[(1*3+2)*4+3] != 42 {
+		t.Fatal("NHWC layout violated")
+	}
+}
+
+func TestConvOutDimSameAndValid(t *testing.T) {
+	// PadSame: ceil(in/stride).
+	if got := convOutDim(28, 3, 1, PadSame); got != 28 {
+		t.Fatalf("same 28/s1 = %d", got)
+	}
+	if got := convOutDim(28, 3, 2, PadSame); got != 14 {
+		t.Fatalf("same 28/s2 = %d", got)
+	}
+	if got := convOutDim(28, 3, 1, PadValid); got != 26 {
+		t.Fatalf("valid 28 k3 = %d", got)
+	}
+	if got := convOutDim(28, 3, 2, PadValid); got != 13 {
+		t.Fatalf("valid 28 k3 s2 = %d", got)
+	}
+}
+
+func TestConv2DAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := Shape{8, 8, 3}
+	outC := 16
+	l := NewConv2D("c1", in, outC, 3, 3, 1, PadSame,
+		q(0.05, 0), q(0.01, 0), q(0.2, 0),
+		randWeights(rng, outC*3*3*3), randBias(rng, outC, 100), true)
+	if l.OutShape() != (Shape{8, 8, 16}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+	if want := int64(outC*3*3*3 + 4*outC); l.ParamBytes() != want {
+		t.Fatalf("ParamBytes = %d, want %d", l.ParamBytes(), want)
+	}
+	if want := int64(8 * 8 * 16 * 3 * 3 * 3); l.MACs() != want {
+		t.Fatalf("MACs = %d, want %d", l.MACs(), want)
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 conv with a single unit weight and matched scales must copy
+	// the input channel exactly.
+	in := Shape{3, 3, 1}
+	w := []int8{100} // value 100 at wScale 0.01 → weight 1.0
+	l := NewConv2D("id", in, 1, 1, 1, 1, PadValid,
+		q(0.05, 0), q(0.01, 0), q(0.05, 0), w, []int32{0}, false)
+	x := NewTensor(in, q(0.05, 0))
+	for i := range x.Data {
+		x.Data[i] = int8(i*7 - 30)
+	}
+	y := l.Forward(x)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv mismatch at %d: got %d want %d", i, y.Data[i], x.Data[i])
+		}
+	}
+}
+
+// tolerance: dequantized int8 output vs float reference must agree within
+// just over half an output step (rounding) — saturation handled by clampRef.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func dequantAll(t *Tensor) []float64 { return t.Floats() }
+
+// PT-5: int8 conv2d matches the float reference within quantization error.
+func TestPropertyConv2DMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{rng.Intn(6) + 3, rng.Intn(6) + 3, rng.Intn(4) + 1}
+		outC := rng.Intn(8) + 1
+		k := []int{1, 3, 5}[rng.Intn(3)]
+		stride := rng.Intn(2) + 1
+		pad := Padding(rng.Intn(2))
+		if convOutDim(in.H, k, stride, pad) <= 0 || convOutDim(in.W, k, stride, pad) <= 0 {
+			return true // geometry invalid, skip
+		}
+		inQ, wQ := q(0.05, int32(rng.Intn(11)-5)), q(0.01, 0)
+		outQ := q(0.3, int32(rng.Intn(11)-5))
+		l := NewConv2D("c", in, outC, k, k, stride, pad, inQ, wQ, outQ,
+			randWeights(rng, outC*k*k*in.C), randBias(rng, outC, 500), rng.Intn(2) == 0)
+		x := randInput(rng, in, inQ)
+		got := dequantAll(l.Forward(x))
+		want := RefConv2D(l, x)
+		return maxAbsDiff(got, want) <= 0.51*outQ.Scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDWConv2DMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{rng.Intn(6) + 3, rng.Intn(6) + 3, rng.Intn(6) + 1}
+		k := 3
+		stride := rng.Intn(2) + 1
+		pad := Padding(rng.Intn(2))
+		if convOutDim(in.H, k, stride, pad) <= 0 || convOutDim(in.W, k, stride, pad) <= 0 {
+			return true
+		}
+		inQ, wQ := q(0.05, int32(rng.Intn(7)-3)), q(0.02, 0)
+		outQ := q(0.25, 0)
+		l := NewDWConv2D("d", in, k, k, stride, pad, inQ, wQ, outQ,
+			randWeights(rng, k*k*in.C), randBias(rng, in.C, 300), rng.Intn(2) == 0)
+		x := randInput(rng, in, inQ)
+		got := dequantAll(l.Forward(x))
+		want := RefDWConv2D(l, x)
+		return maxAbsDiff(got, want) <= 0.51*outQ.Scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDenseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{1, 1, rng.Intn(64) + 1}
+		outN := rng.Intn(16) + 1
+		inQ, wQ := q(0.04, int32(rng.Intn(5)-2)), q(0.015, 0)
+		outQ := q(0.5, 0)
+		l := NewDense("fc", in, outN, inQ, wQ, outQ,
+			randWeights(rng, in.Elems()*outN), randBias(rng, outN, 1000), rng.Intn(2) == 0)
+		x := randInput(rng, in, inQ)
+		got := dequantAll(l.Forward(x))
+		want := RefDense(l, x)
+		return maxAbsDiff(got, want) <= 0.51*outQ.Scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPoolBasic(t *testing.T) {
+	in := Shape{4, 4, 1}
+	qp := q(0.1, 0)
+	l := NewMaxPool2D("p", in, 2, 2, PadValid, qp)
+	if l.OutShape() != (Shape{2, 2, 1}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+	x := NewTensor(in, qp)
+	for i := range x.Data {
+		x.Data[i] = int8(i)
+	}
+	y := l.Forward(x)
+	want := []int8{5, 7, 13, 15}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("maxpool out %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolIsOrderPreserving(t *testing.T) {
+	// Property: every output element equals some input element.
+	rng := rand.New(rand.NewSource(7))
+	in := Shape{7, 7, 3}
+	qp := q(0.1, -4)
+	l := NewMaxPool2D("p", in, 3, 2, PadSame, qp)
+	x := randInput(rng, in, qp)
+	y := l.Forward(x)
+	present := map[int8]bool{}
+	for _, v := range x.Data {
+		present[v] = true
+	}
+	for _, v := range y.Data {
+		if !present[v] {
+			t.Fatalf("maxpool invented value %d", v)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := Shape{2, 2, 1}
+	inQ := q(0.5, 0)
+	outQ := q(0.5, 0)
+	l := NewGlobalAvgPool("gap", in, inQ, outQ)
+	x := NewTensor(in, inQ)
+	copy(x.Data, []int8{2, 4, 6, 8}) // mean 5 → 2.5 real → q 5
+	y := l.Forward(x)
+	if y.Data[0] != 5 {
+		t.Fatalf("gap out = %d, want 5", y.Data[0])
+	}
+	if l.OutShape() != (Shape{1, 1, 1}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+}
+
+func TestAddCombinesQuantDomains(t *testing.T) {
+	in := Shape{1, 1, 2}
+	aQ, bQ, outQ := q(0.1, 0), q(0.2, 0), q(0.1, 0)
+	l := NewAdd("add", in, aQ, bQ, outQ, false)
+	a := NewTensor(in, aQ)
+	b := NewTensor(in, bQ)
+	copy(a.Data, []int8{10, -10}) // 1.0, -1.0
+	copy(b.Data, []int8{5, 5})    // 1.0,  1.0
+	y := l.Forward(a, b)
+	if y.Data[0] != 20 || y.Data[1] != 0 {
+		t.Fatalf("add out = %v, want [20 0]", y.Data)
+	}
+}
+
+func TestAddReLUClampsNegatives(t *testing.T) {
+	in := Shape{1, 1, 1}
+	qp := q(0.1, 0)
+	l := NewAdd("add", in, qp, qp, qp, true)
+	a := NewTensor(in, qp)
+	b := NewTensor(in, qp)
+	a.Data[0], b.Data[0] = -50, -50
+	if y := l.Forward(a, b); y.Data[0] != 0 {
+		t.Fatalf("relu add out = %d, want 0", y.Data[0])
+	}
+}
+
+func TestReLULayerIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := Shape{4, 4, 2}
+	qp := q(0.1, -8)
+	l := NewReLU("r", in, qp)
+	x := randInput(rng, in, qp)
+	y1 := l.Forward(x)
+	y2 := l.Forward(y1)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("relu not idempotent")
+		}
+		if y1.Data[i] < int8(qp.Zero) {
+			t.Fatal("relu output below zero point")
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := Shape{1, 1, 10}
+	inQ := q(0.2, 0)
+	l := NewSoftmax("sm", in, inQ)
+	x := randInput(rng, in, inQ)
+	y := l.Forward(x)
+	var sum float64
+	maxIn, maxInIdx := int8(-128), 0
+	maxOut, maxOutIdx := int8(-128), 0
+	for i := range y.Data {
+		sum += SoftmaxQuant.Dequant(y.Data[i])
+		if x.Data[i] > maxIn {
+			maxIn, maxInIdx = x.Data[i], i
+		}
+		if y.Data[i] > maxOut {
+			maxOut, maxOutIdx = y.Data[i], i
+		}
+	}
+	if math.Abs(sum-1.0) > 0.05 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if maxInIdx != maxOutIdx {
+		t.Fatalf("softmax argmax moved: in %d out %d", maxInIdx, maxOutIdx)
+	}
+}
+
+func TestFlattenPreservesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := Shape{3, 3, 2}
+	qp := q(0.1, 0)
+	l := NewFlatten("f", in, qp)
+	x := randInput(rng, in, qp)
+	y := l.Forward(x)
+	if y.Shape != (Shape{1, 1, 18}) {
+		t.Fatalf("flatten shape %v", y.Shape)
+	}
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("flatten changed data")
+		}
+	}
+}
+
+func buildTinyModel(t *testing.T) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	inQ := q(0.05, 0)
+	b := NewBuilder("tiny", Shape{8, 8, 1}, inQ)
+	c1 := NewConv2D("c1", Shape{8, 8, 1}, 4, 3, 3, 1, PadSame,
+		inQ, q(0.01, 0), q(0.1, 0), randWeights(rng, 4*3*3*1), randBias(rng, 4, 50), true)
+	b.Add(c1)
+	p := NewMaxPool2D("p1", c1.OutShape(), 2, 2, PadValid, c1.OutQuant())
+	b.Add(p)
+	fl := NewFlatten("fl", p.OutShape(), p.OutQuant())
+	b.Add(fl)
+	d := NewDense("fc", fl.OutShape(), 3, fl.OutQuant(), q(0.01, 0), q(0.3, 0),
+		randWeights(rng, fl.OutShape().Elems()*3), randBias(rng, 3, 100), false)
+	b.Add(d)
+	sm := NewSoftmax("sm", d.OutShape(), d.OutQuant())
+	b.Add(sm)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelForwardEndToEnd(t *testing.T) {
+	m := buildTinyModel(t)
+	rng := rand.New(rand.NewSource(13))
+	x := randInput(rng, m.Input, m.InQuant)
+	y := m.Forward(x)
+	if y.Shape != (Shape{1, 1, 3}) {
+		t.Fatalf("output shape %v", y.Shape)
+	}
+	// Deterministic: same input twice gives identical output.
+	y2 := m.Forward(x)
+	for i := range y.Data {
+		if y.Data[i] != y2.Data[i] {
+			t.Fatal("model forward not deterministic")
+		}
+	}
+}
+
+func TestModelAccounting(t *testing.T) {
+	m := buildTinyModel(t)
+	var wantParams, wantMACs int64
+	for _, n := range m.Nodes {
+		wantParams += n.Layer.ParamBytes()
+		wantMACs += n.Layer.MACs()
+	}
+	if m.TotalParamBytes() != wantParams {
+		t.Fatal("TotalParamBytes disagrees with per-layer sum")
+	}
+	if m.TotalMACs() != wantMACs {
+		t.Fatal("TotalMACs disagrees with per-layer sum")
+	}
+	if m.TotalParamBytes() == 0 || m.TotalMACs() == 0 {
+		t.Fatal("accounting is trivially zero")
+	}
+}
+
+func TestPeakActivationBytesSequential(t *testing.T) {
+	m := buildTinyModel(t)
+	peak := m.PeakActivationBytes()
+	// For a sequential chain, peak = max over nodes of in+out (plus any
+	// still-live earlier tensors; here none besides the direct input,
+	// except the model input which dies after c1).
+	if peak < int64(m.Input.Elems()) {
+		t.Fatalf("peak %d below input size", peak)
+	}
+	// c1 executes with input 8*8*1=64 and output 8*8*4=256 live → ≥320.
+	if peak < 320 {
+		t.Fatalf("peak %d, want ≥ 320", peak)
+	}
+}
+
+func TestPeakActivationWithResidualSkip(t *testing.T) {
+	// input -> c1 -> c2 -> add(c1-out, c2-out): c1's output stays live
+	// across c2.
+	rng := rand.New(rand.NewSource(17))
+	inQ := q(0.05, 0)
+	in := Shape{4, 4, 2}
+	b := NewBuilder("res", in, inQ)
+	mk := func(name string) *Conv2D {
+		return NewConv2D(name, in, 2, 3, 3, 1, PadSame, inQ, q(0.01, 0), q(0.05, 0),
+			randWeights(rng, 2*3*3*2), randBias(rng, 2, 10), true)
+	}
+	n1 := b.Add(mk("c1"))
+	n2 := b.Add(mk("c2"))
+	add := NewAdd("add", Shape{4, 4, 2}, q(0.05, 0), q(0.05, 0), q(0.05, 0), false)
+	b.Add(add, n1, n2)
+	m := b.MustBuild()
+	peak := m.PeakActivationBytes()
+	// During c2: input(32, dead after c2... actually dead after c2 input? it
+	// feeds c2 only) — at add: out(32) + c1(32) + c2(32) = 96 at least.
+	if peak < 96 {
+		t.Fatalf("residual peak %d, want ≥ 96", peak)
+	}
+	x := randInput(rng, in, inQ)
+	if y := m.Forward(x); y.Shape != in {
+		t.Fatalf("residual model output %v", y.Shape)
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	inQ := q(0.05, 0)
+	in := Shape{4, 4, 1}
+	relu := NewReLU("r", in, inQ)
+
+	// Forward reference (non-topological).
+	m := &Model{Name: "bad", Input: in, InQuant: inQ,
+		Nodes: []Node{{Layer: relu, Inputs: []int{0}}}, Output: 0}
+	if err := m.Validate(); err == nil {
+		t.Fatal("self-reference passed validation")
+	}
+
+	// Duplicate names.
+	m2 := &Model{Name: "dup", Input: in, InQuant: inQ,
+		Nodes: []Node{
+			{Layer: relu, Inputs: []int{-1}},
+			{Layer: relu, Inputs: []int{0}},
+		}, Output: 1}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("duplicate layer name passed validation")
+	}
+
+	// Shape mismatch.
+	relu2 := NewReLU("r2", Shape{9, 9, 9}, inQ)
+	m3 := &Model{Name: "shape", Input: in, InQuant: inQ,
+		Nodes: []Node{{Layer: relu2, Inputs: []int{-1}}}, Output: 0}
+	if err := m3.Validate(); err == nil {
+		t.Fatal("shape mismatch passed validation")
+	}
+
+	// Empty graph.
+	m4 := &Model{Name: "empty", Input: in, InQuant: inQ}
+	if err := m4.Validate(); err == nil {
+		t.Fatal("empty graph passed validation")
+	}
+}
+
+func TestBuilderChainsImplicitly(t *testing.T) {
+	inQ := q(0.05, 0)
+	in := Shape{4, 4, 1}
+	b := NewBuilder("chain", in, inQ)
+	if b.LastShape() != in {
+		t.Fatal("LastShape before any node should be the input shape")
+	}
+	if b.LastQuant() != inQ {
+		t.Fatal("LastQuant before any node should be the input quant")
+	}
+	b.Add(NewReLU("r1", in, inQ))
+	b.Add(NewReLU("r2", in, inQ))
+	m := b.MustBuild()
+	if got := m.Nodes[1].Inputs[0]; got != 0 {
+		t.Fatalf("implicit chain input = %d, want 0", got)
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	inQ := q(0.05, 0)
+	in := Shape{2, 2, 1}
+	add := NewAdd("a", in, inQ, inQ, inQ, false)
+	x := NewTensor(in, inQ)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward with wrong arity did not panic")
+		}
+	}()
+	add.Forward(x)
+}

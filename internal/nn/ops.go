@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxPool2D is a spatial max-pooling operator.
+type MaxPool2D struct {
+	base
+	K, Stride int
+	Pad       Padding
+}
+
+// NewMaxPool2D constructs a max-pool layer. Output quantization equals the
+// input quantization (max is order-preserving).
+func NewMaxPool2D(name string, in Shape, k, stride int, pad Padding, q QuantParams) *MaxPool2D {
+	out := Shape{convOutDim(in.H, k, stride, pad), convOutDim(in.W, k, stride, pad), in.C}
+	if !out.Valid() {
+		panic(fmt.Sprintf("nn: maxpool %s produces invalid shape %v from %v", name, out, in))
+	}
+	return &MaxPool2D{
+		base: base{name: name, kind: KindMaxPool, in: in, out: out, outQuant: q},
+		K:    k, Stride: stride, Pad: pad,
+	}
+}
+
+func (l *MaxPool2D) ParamBytes() int64 { return 0 }
+
+// MACs reports the comparison count as the op count.
+func (l *MaxPool2D) MACs() int64 {
+	return int64(l.out.Elems()) * int64(l.K) * int64(l.K)
+}
+
+func (l *MaxPool2D) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	ph := padBefore(l.in.H, l.K, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.K, l.Stride, l.Pad)
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for c := 0; c < l.out.C; c++ {
+				best := int8(-128)
+				seen := false
+				for kh := 0; kh < l.K; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.K; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						if v := x.At(ih, iw, c); !seen || v > best {
+							best = v
+							seen = true
+						}
+					}
+				}
+				out.Set(oh, ow, c, best)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool averages each channel over the full spatial extent.
+type GlobalAvgPool struct {
+	base
+	InQuant QuantParams
+}
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string, in Shape, inQ, outQ QuantParams) *GlobalAvgPool {
+	return &GlobalAvgPool{
+		base:    base{name: name, kind: KindAvgPool, in: in, out: Shape{1, 1, in.C}, outQuant: outQ},
+		InQuant: inQ,
+	}
+}
+
+func (l *GlobalAvgPool) ParamBytes() int64 { return 0 }
+func (l *GlobalAvgPool) MACs() int64       { return int64(l.in.Elems()) }
+
+func (l *GlobalAvgPool) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	n := l.in.H * l.in.W
+	for c := 0; c < l.in.C; c++ {
+		var sum int32
+		for h := 0; h < l.in.H; h++ {
+			for w := 0; w < l.in.W; w++ {
+				sum += int32(x.At(h, w, c)) - l.InQuant.Zero
+			}
+		}
+		mean := l.InQuant.Scale * float64(sum) / float64(n)
+		out.Data[c] = l.outQuant.Quant(mean)
+	}
+	return out
+}
+
+// Add is an element-wise residual addition of two tensors with (possibly)
+// different quantizations.
+type Add struct {
+	base
+	AQuant, BQuant QuantParams
+	ReLU           bool
+}
+
+// NewAdd constructs a residual add; both inputs must share the shape.
+func NewAdd(name string, in Shape, aQ, bQ, outQ QuantParams, relu bool) *Add {
+	return &Add{
+		base:   base{name: name, kind: KindAdd, in: in, out: in, outQuant: outQ},
+		AQuant: aQ, BQuant: bQ, ReLU: relu,
+	}
+}
+
+func (l *Add) Arity() int        { return 2 }
+func (l *Add) ParamBytes() int64 { return 0 }
+func (l *Add) MACs() int64       { return int64(l.in.Elems()) }
+
+func (l *Add) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	a, b := ins[0], ins[1]
+	if b.Shape != l.in {
+		panic(fmt.Sprintf("nn: add %s second input %v, want %v", l.name, b.Shape, l.in))
+	}
+	out := NewTensor(l.out, l.outQuant)
+	for i := range a.Data {
+		r := l.AQuant.Dequant(a.Data[i]) + l.BQuant.Dequant(b.Data[i])
+		if l.ReLU && r < 0 {
+			r = 0
+		}
+		out.Data[i] = l.outQuant.Quant(r)
+	}
+	return out
+}
+
+// ReLULayer is a standalone rectifier for graphs that do not fuse it.
+type ReLULayer struct {
+	base
+	InQuant QuantParams
+}
+
+// NewReLU constructs a standalone ReLU; output quant equals input quant.
+func NewReLU(name string, in Shape, q QuantParams) *ReLULayer {
+	return &ReLULayer{
+		base:    base{name: name, kind: KindReLU, in: in, out: in, outQuant: q},
+		InQuant: q,
+	}
+}
+
+func (l *ReLULayer) ParamBytes() int64 { return 0 }
+func (l *ReLULayer) MACs() int64       { return int64(l.in.Elems()) }
+
+func (l *ReLULayer) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	z := satInt8(l.InQuant.Zero)
+	for i, v := range x.Data {
+		if v < z {
+			v = z
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// Softmax produces a quantized probability vector; the output uses the
+// conventional scale 1/256 with zero point -128.
+type Softmax struct {
+	base
+	InQuant QuantParams
+}
+
+// SoftmaxQuant is the fixed output quantization of Softmax.
+var SoftmaxQuant = QuantParams{Scale: 1.0 / 256.0, Zero: -128}
+
+// NewSoftmax constructs a softmax over the channel dimension of a 1x1xC
+// input.
+func NewSoftmax(name string, in Shape, inQ QuantParams) *Softmax {
+	if in.H != 1 || in.W != 1 {
+		panic(fmt.Sprintf("nn: softmax %s needs 1x1xC input, got %v", name, in))
+	}
+	return &Softmax{
+		base:    base{name: name, kind: KindSoftmax, in: in, out: in, outQuant: SoftmaxQuant},
+		InQuant: inQ,
+	}
+}
+
+func (l *Softmax) ParamBytes() int64 { return 0 }
+func (l *Softmax) MACs() int64       { return int64(l.in.Elems()) * 4 } // exp approx cost
+
+func (l *Softmax) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	maxV := math.Inf(-1)
+	vals := make([]float64, len(x.Data))
+	for i, v := range x.Data {
+		vals[i] = l.InQuant.Dequant(v)
+		if vals[i] > maxV {
+			maxV = vals[i]
+		}
+	}
+	var sum float64
+	for i := range vals {
+		vals[i] = math.Exp(vals[i] - maxV)
+		sum += vals[i]
+	}
+	for i := range vals {
+		out.Data[i] = l.outQuant.Quant(vals[i] / sum)
+	}
+	return out
+}
+
+// Flatten reshapes HxWxC to 1x1x(H*W*C) without touching data.
+type Flatten struct {
+	base
+}
+
+// NewFlatten constructs a flattening reshape.
+func NewFlatten(name string, in Shape, q QuantParams) *Flatten {
+	return &Flatten{
+		base: base{name: name, kind: KindFlatten, in: in, out: Shape{1, 1, in.Elems()}, outQuant: q},
+	}
+}
+
+func (l *Flatten) ParamBytes() int64 { return 0 }
+func (l *Flatten) MACs() int64       { return 0 }
+
+func (l *Flatten) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	out := NewTensor(l.out, l.outQuant)
+	copy(out.Data, ins[0].Data)
+	return out
+}

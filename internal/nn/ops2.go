@@ -1,0 +1,147 @@
+package nn
+
+import "fmt"
+
+// AvgPool2D is a windowed spatial average pooling operator.
+type AvgPool2D struct {
+	base
+	K, Stride int
+	Pad       Padding
+	InQuant   QuantParams
+}
+
+// NewAvgPool2D constructs a windowed average pooling layer.
+func NewAvgPool2D(name string, in Shape, k, stride int, pad Padding, inQ, outQ QuantParams) *AvgPool2D {
+	out := Shape{convOutDim(in.H, k, stride, pad), convOutDim(in.W, k, stride, pad), in.C}
+	if !out.Valid() {
+		panic(fmt.Sprintf("nn: avgpool %s produces invalid shape %v from %v", name, out, in))
+	}
+	return &AvgPool2D{
+		base: base{name: name, kind: KindAvgPool, in: in, out: out, outQuant: outQ},
+		K:    k, Stride: stride, Pad: pad, InQuant: inQ,
+	}
+}
+
+func (l *AvgPool2D) ParamBytes() int64 { return 0 }
+func (l *AvgPool2D) MACs() int64 {
+	return int64(l.out.Elems()) * int64(l.K) * int64(l.K)
+}
+
+func (l *AvgPool2D) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	ph := padBefore(l.in.H, l.K, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.K, l.Stride, l.Pad)
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for c := 0; c < l.out.C; c++ {
+				var sum, n int32
+				for kh := 0; kh < l.K; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.K; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						sum += int32(x.At(ih, iw, c)) - l.InQuant.Zero
+						n++
+					}
+				}
+				var mean float64
+				if n > 0 {
+					mean = l.InQuant.Scale * float64(sum) / float64(n)
+				}
+				out.Set(oh, ow, c, l.outQuant.Quant(mean))
+			}
+		}
+	}
+	return out
+}
+
+// Concat joins two tensors along the channel dimension, requantizing both
+// into the output domain.
+type Concat struct {
+	base
+	AQuant, BQuant QuantParams
+	BShape         Shape
+}
+
+// NewConcat constructs a channel concatenation; spatial dims must match.
+func NewConcat(name string, a, b Shape, aQ, bQ, outQ QuantParams) *Concat {
+	if a.H != b.H || a.W != b.W {
+		panic(fmt.Sprintf("nn: concat %s spatial mismatch %v vs %v", name, a, b))
+	}
+	out := Shape{a.H, a.W, a.C + b.C}
+	return &Concat{
+		base:   base{name: name, kind: KindConcat, in: a, out: out, outQuant: outQ},
+		AQuant: aQ, BQuant: bQ, BShape: b,
+	}
+}
+
+func (l *Concat) Arity() int        { return 2 }
+func (l *Concat) ParamBytes() int64 { return 0 }
+func (l *Concat) MACs() int64       { return int64(l.out.Elems()) }
+
+func (l *Concat) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	a, b := ins[0], ins[1]
+	if b.Shape != l.BShape {
+		panic(fmt.Sprintf("nn: concat %s second input %v, want %v", l.name, b.Shape, l.BShape))
+	}
+	out := NewTensor(l.out, l.outQuant)
+	for h := 0; h < l.out.H; h++ {
+		for w := 0; w < l.out.W; w++ {
+			for c := 0; c < l.in.C; c++ {
+				out.Set(h, w, c, l.outQuant.Quant(l.AQuant.Dequant(a.At(h, w, c))))
+			}
+			for c := 0; c < l.BShape.C; c++ {
+				out.Set(h, w, l.in.C+c, l.outQuant.Quant(l.BQuant.Dequant(b.At(h, w, c))))
+			}
+		}
+	}
+	return out
+}
+
+// ZeroPad2D pads the spatial dimensions with the quantization zero point.
+type ZeroPad2D struct {
+	base
+	Top, Bottom, Left, Right int
+}
+
+// NewZeroPad2D constructs an explicit spatial padding layer (output quant
+// equals input quant).
+func NewZeroPad2D(name string, in Shape, top, bottom, left, right int, q QuantParams) *ZeroPad2D {
+	if top < 0 || bottom < 0 || left < 0 || right < 0 {
+		panic(fmt.Sprintf("nn: zeropad %s negative padding", name))
+	}
+	out := Shape{in.H + top + bottom, in.W + left + right, in.C}
+	return &ZeroPad2D{
+		base: base{name: name, kind: KindPad, in: in, out: out, outQuant: q},
+		Top:  top, Bottom: bottom, Left: left, Right: right,
+	}
+}
+
+func (l *ZeroPad2D) ParamBytes() int64 { return 0 }
+func (l *ZeroPad2D) MACs() int64       { return int64(l.out.Elems()) }
+
+func (l *ZeroPad2D) Forward(ins ...*Tensor) *Tensor {
+	checkInput(l, ins)
+	x := ins[0]
+	out := NewTensor(l.out, l.outQuant)
+	z := satInt8(l.outQuant.Zero)
+	for i := range out.Data {
+		out.Data[i] = z
+	}
+	for h := 0; h < l.in.H; h++ {
+		for w := 0; w < l.in.W; w++ {
+			for c := 0; c < l.in.C; c++ {
+				out.Set(h+l.Top, w+l.Left, c, x.At(h, w, c))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgPool2DBasic(t *testing.T) {
+	in := Shape{4, 4, 1}
+	qp := q(0.5, 0)
+	l := NewAvgPool2D("ap", in, 2, 2, PadValid, qp, qp)
+	if l.OutShape() != (Shape{2, 2, 1}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+	x := NewTensor(in, qp)
+	for i := range x.Data {
+		x.Data[i] = int8(i) // windows: {0,1,4,5},{2,3,6,7},{8,9,12,13},{10,11,14,15}
+	}
+	y := l.Forward(x)
+	want := []int8{3, 5, 11, 13} // exact integer means
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("avgpool out %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestAvgPool2DPadSameIgnoresPaddingInMean(t *testing.T) {
+	// With PadSame the mean divides by the count of *valid* samples, not
+	// the window area (CMSIS-NN behaviour).
+	in := Shape{2, 2, 1}
+	qp := q(1.0, 0)
+	l := NewAvgPool2D("ap", in, 3, 1, PadSame, qp, qp)
+	x := NewTensor(in, qp)
+	copy(x.Data, []int8{4, 4, 4, 4})
+	y := l.Forward(x)
+	for i, v := range y.Data {
+		if v != 4 {
+			t.Fatalf("padded mean diluted at %d: %v", i, y.Data)
+		}
+	}
+}
+
+func TestAvgPool2DBoundedByExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := Shape{6, 6, 3}
+	qp := q(0.1, -3)
+	l := NewAvgPool2D("ap", in, 3, 2, PadValid, qp, qp)
+	x := randInput(rng, in, qp)
+	lo, hi := int8(127), int8(-128)
+	for _, v := range x.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for _, v := range l.Forward(x).Data {
+		if v < lo-1 || v > hi+1 {
+			t.Fatalf("mean %d outside input range [%d, %d]", v, lo, hi)
+		}
+	}
+}
+
+func TestConcatLaysOutChannels(t *testing.T) {
+	a := NewTensor(Shape{1, 2, 2}, q(0.1, 0))
+	b := NewTensor(Shape{1, 2, 1}, q(0.2, 0))
+	copy(a.Data, []int8{1, 2, 3, 4})
+	copy(b.Data, []int8{10, 20}) // real 2.0, 4.0 → at out scale 0.1: 20, 40
+	l := NewConcat("cat", a.Shape, b.Shape, a.Quant, b.Quant, q(0.1, 0))
+	if l.OutShape() != (Shape{1, 2, 3}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+	y := l.Forward(a, b)
+	want := []int8{1, 2, 20, 3, 4, 40}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("concat out %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestConcatRejectsSpatialMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spatial mismatch accepted")
+		}
+	}()
+	NewConcat("cat", Shape{2, 2, 1}, Shape{3, 2, 1}, q(1, 0), q(1, 0), q(1, 0))
+}
+
+func TestZeroPad2D(t *testing.T) {
+	in := Shape{2, 2, 1}
+	qp := q(0.1, 5)
+	l := NewZeroPad2D("pad", in, 1, 1, 1, 1, qp)
+	if l.OutShape() != (Shape{4, 4, 1}) {
+		t.Fatalf("OutShape = %v", l.OutShape())
+	}
+	x := NewTensor(in, qp)
+	copy(x.Data, []int8{1, 2, 3, 4})
+	y := l.Forward(x)
+	// Border must carry the zero point (= real 0.0), interior the data.
+	if y.At(0, 0, 0) != 5 || y.At(3, 3, 0) != 5 {
+		t.Fatalf("padding not at zero point: %v", y.Data)
+	}
+	if y.At(1, 1, 0) != 1 || y.At(2, 2, 0) != 4 {
+		t.Fatalf("interior misplaced: %v", y.Data)
+	}
+}
+
+func TestPerChannelConvMatchesPerTensorWhenUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := Shape{5, 5, 3}
+	outC := 4
+	w := randWeights(rng, outC*3*3*3)
+	bias := randBias(rng, outC, 100)
+	inQ, outQ := q(0.05, 0), q(0.3, 0)
+	const ws = 0.013
+	perTensor := NewConv2D("pt", in, outC, 3, 3, 1, PadSame, inQ, q(ws, 0), outQ, w, bias, true)
+	scales := make([]float64, outC)
+	for i := range scales {
+		scales[i] = ws
+	}
+	perChannel := NewConv2DPerChannel("pc", in, outC, 3, 3, 1, PadSame, inQ, scales, outQ, w, bias, true)
+	x := randInput(rng, in, inQ)
+	a, b := perTensor.Forward(x), perChannel.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("uniform per-channel differs from per-tensor at %d", i)
+		}
+	}
+}
+
+// Per-channel conv matches the float reference within quantization error
+// for arbitrary per-channel scales (PT-5 extension).
+func TestPropertyPerChannelConvMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{rng.Intn(5) + 3, rng.Intn(5) + 3, rng.Intn(3) + 1}
+		outC := rng.Intn(6) + 1
+		scales := make([]float64, outC)
+		for i := range scales {
+			scales[i] = 0.002 + 0.03*rng.Float64()
+		}
+		inQ := q(0.05, int32(rng.Intn(7)-3))
+		outQ := q(0.3, 0)
+		l := NewConv2DPerChannel("pc", in, outC, 3, 3, 1, PadSame, inQ, scales, outQ,
+			randWeights(rng, outC*3*3*in.C), randBias(rng, outC, 300), rng.Intn(2) == 0)
+		x := randInput(rng, in, inQ)
+		got := l.Forward(x).Floats()
+		want := RefConv2D(l, x)
+		return maxAbsDiff(got, want) <= 0.51*outQ.Scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOpsInGraphs(t *testing.T) {
+	// input → pad → conv(valid) → branch {maxpool, avgpool} → concat.
+	rng := rand.New(rand.NewSource(33))
+	qp := q(1.0/32, 0)
+	in := Shape{8, 8, 2}
+	b := NewBuilder("newops", in, qp)
+	pad := NewZeroPad2D("pad", in, 1, 1, 1, 1, qp)
+	b.Add(pad)
+	conv := NewConv2D("conv", pad.OutShape(), 4, 3, 3, 1, PadValid,
+		qp, q(0.01, 0), qp, randWeights(rng, 4*3*3*2), randBias(rng, 4, 50), true)
+	trunk := b.Add(conv)
+	mp := NewMaxPool2D("mp", conv.OutShape(), 2, 2, PadValid, qp)
+	mpIdx := b.Add(mp, trunk)
+	ap := NewAvgPool2D("ap", conv.OutShape(), 2, 2, PadValid, qp, qp)
+	apIdx := b.Add(ap, trunk)
+	cat := NewConcat("cat", mp.OutShape(), ap.OutShape(), qp, qp, qp)
+	b.Add(cat, mpIdx, apIdx)
+	m := b.MustBuild()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, in, qp)
+	y := m.Forward(x)
+	if y.Shape != (Shape{4, 4, 8}) {
+		t.Fatalf("graph output %v", y.Shape)
+	}
+	if m.TotalMACs() == 0 || m.PeakActivationBytes() == 0 {
+		t.Fatal("accounting zero on new-op graph")
+	}
+}
+
+func TestAvgPoolRefSanity(t *testing.T) {
+	// Quantized windowed mean tracks the float mean within half a step.
+	rng := rand.New(rand.NewSource(8))
+	in := Shape{4, 4, 2}
+	inQ, outQ := q(0.07, 2), q(0.07, 2)
+	l := NewAvgPool2D("ap", in, 2, 2, PadValid, inQ, outQ)
+	x := randInput(rng, in, inQ)
+	y := l.Forward(x)
+	for oh := 0; oh < 2; oh++ {
+		for ow := 0; ow < 2; ow++ {
+			for c := 0; c < 2; c++ {
+				var sum float64
+				for kh := 0; kh < 2; kh++ {
+					for kw := 0; kw < 2; kw++ {
+						sum += inQ.Dequant(x.At(oh*2+kh, ow*2+kw, c))
+					}
+				}
+				want := sum / 4
+				got := outQ.Dequant(y.At(oh, ow, c))
+				if math.Abs(got-want) > 0.51*outQ.Scale {
+					t.Fatalf("mean mismatch: got %v want %v", got, want)
+				}
+			}
+		}
+	}
+}

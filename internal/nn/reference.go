@@ -1,0 +1,109 @@
+package nn
+
+// This file provides float64 reference implementations of the weighted
+// kernels. They exist solely to validate the int8 kernels: the quantized
+// output, dequantized, must match the reference within half an output
+// quantization step (plus saturation clamping).
+
+// RefConv2D computes the real-valued convolution of the layer on the
+// dequantized input and returns the result clamped to the layer's
+// representable output range.
+func RefConv2D(l *Conv2D, in *Tensor) []float64 {
+	x := in.Floats()
+	out := make([]float64, l.out.Elems())
+	ph := padBefore(l.in.H, l.KH, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.KW, l.Stride, l.Pad)
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for oc := 0; oc < l.out.C; oc++ {
+				ws := l.wScale(oc)
+				acc := float64(l.Bias[oc]) * l.InQuant.Scale * ws
+				wBase := oc * l.KH * l.KW * l.in.C
+				for kh := 0; kh < l.KH; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						xi := (ih*l.in.W + iw) * l.in.C
+						wi := wBase + (kh*l.KW+kw)*l.in.C
+						for ic := 0; ic < l.in.C; ic++ {
+							acc += x[xi+ic] * ws * float64(l.Weights[wi+ic])
+						}
+					}
+				}
+				out[(oh*l.out.W+ow)*l.out.C+oc] = clampRef(acc, l.outQuant, l.ReLU)
+			}
+		}
+	}
+	return out
+}
+
+// RefDWConv2D is the reference depthwise convolution.
+func RefDWConv2D(l *DWConv2D, in *Tensor) []float64 {
+	out := make([]float64, l.out.Elems())
+	ph := padBefore(l.in.H, l.KH, l.Stride, l.Pad)
+	pw := padBefore(l.in.W, l.KW, l.Stride, l.Pad)
+	biasScale := l.InQuant.Scale * l.WQuant.Scale
+	for oh := 0; oh < l.out.H; oh++ {
+		for ow := 0; ow < l.out.W; ow++ {
+			for c := 0; c < l.out.C; c++ {
+				acc := float64(l.Bias[c]) * biasScale
+				for kh := 0; kh < l.KH; kh++ {
+					ih := oh*l.Stride + kh - ph
+					if ih < 0 || ih >= l.in.H {
+						continue
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.Stride + kw - pw
+						if iw < 0 || iw >= l.in.W {
+							continue
+						}
+						w := l.WQuant.Scale * float64(l.Weights[(kh*l.KW+kw)*l.in.C+c])
+						acc += l.InQuant.Dequant(in.At(ih, iw, c)) * w
+					}
+				}
+				out[(oh*l.out.W+ow)*l.out.C+c] = clampRef(acc, l.outQuant, l.ReLU)
+			}
+		}
+	}
+	return out
+}
+
+// RefDense is the reference fully-connected kernel.
+func RefDense(l *Dense, in *Tensor) []float64 {
+	x := in.Floats()
+	out := make([]float64, l.out.C)
+	inN := l.in.Elems()
+	biasScale := l.InQuant.Scale * l.WQuant.Scale
+	for o := 0; o < l.out.C; o++ {
+		acc := float64(l.Bias[o]) * biasScale
+		wBase := o * inN
+		for i := 0; i < inN; i++ {
+			acc += x[i] * l.WQuant.Scale * float64(l.Weights[wBase+i])
+		}
+		out[o] = clampRef(acc, l.outQuant, l.ReLU)
+	}
+	return out
+}
+
+// clampRef applies optional ReLU then clamps to the representable range of
+// the output quantization, mirroring int8 saturation.
+func clampRef(v float64, q QuantParams, relu bool) float64 {
+	if relu && v < 0 {
+		v = 0
+	}
+	lo := q.Dequant(-128)
+	hi := q.Dequant(127)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,477 @@
+package nn
+
+// Binary model serialization. Real MCU deployments ship models as flat
+// binary artifacts consumed straight from flash; this file defines the
+// repository's equivalent: a little-endian, CRC-protected format holding
+// the full graph — topology, quantization, weights — such that a loaded
+// model is bit-for-bit equivalent to the original (round-trip property in
+// serialize_test.go).
+//
+// Layout:
+//
+//	magic "RTMDM1\n" | format version u32
+//	model name | input shape | input quant
+//	node count u32, then per node: kind u32, layer payload
+//	output index u32
+//	crc32 (IEEE) of everything after the magic
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+var magic = []byte("RTMDM1\n")
+
+const formatVersion = 1
+
+type writer struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) i32(v int32) { w.u32(uint32(v)) }
+func (w *writer) i(v int)     { w.i32(int32(v)) }
+func (w *writer) b(v bool) {
+	if v {
+		w.buf.WriteByte(1)
+	} else {
+		w.buf.WriteByte(0)
+	}
+}
+func (w *writer) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf.Write(b[:])
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+func (w *writer) i8s(v []int8) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.buf.WriteByte(byte(x))
+	}
+}
+func (w *writer) i32s(v []int32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i32(x)
+	}
+}
+func (w *writer) f64s(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+func (w *writer) shape(s Shape)       { w.i(s.H); w.i(s.W); w.i(s.C) }
+func (w *writer) quant(q QuantParams) { w.f64(q.Scale); w.i32(q.Zero) }
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("nn: decode: "+format, args...)
+	}
+}
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.data) {
+		r.fail("truncated at offset %d (+%d)", r.pos, n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i() int     { return int(r.i32()) }
+func (r *reader) b() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+func (r *reader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+func (r *reader) str() string {
+	n := r.u32()
+	if n > 1<<20 {
+		r.fail("string length %d", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+func (r *reader) i8s() []int8 {
+	n := r.u32()
+	if r.err != nil || n > 1<<28 {
+		r.fail("i8 slice length %d", n)
+		return nil
+	}
+	b := r.take(int(n))
+	out := make([]int8, len(b))
+	for i, x := range b {
+		out[i] = int8(x)
+	}
+	return out
+}
+func (r *reader) i32s() []int32 {
+	n := r.u32()
+	if r.err != nil || n > 1<<26 {
+		r.fail("i32 slice length %d", n)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+func (r *reader) f64s() []float64 {
+	n := r.u32()
+	if r.err != nil || n > 1<<24 {
+		r.fail("f64 slice length %d", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+func (r *reader) shape() Shape       { return Shape{H: r.i(), W: r.i(), C: r.i()} }
+func (r *reader) quant() QuantParams { return QuantParams{Scale: r.f64(), Zero: r.i32()} }
+
+// Save writes the model to w in the binary format.
+func (m *Model) Save(out io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	w := &writer{}
+	w.str(m.Name)
+	w.shape(m.Input)
+	w.quant(m.InQuant)
+	w.u32(uint32(len(m.Nodes)))
+	for _, nd := range m.Nodes {
+		ins := make([]int32, len(nd.Inputs))
+		for i, v := range nd.Inputs {
+			ins[i] = int32(v)
+		}
+		w.u32(uint32(nd.Layer.Kind()))
+		w.i32s(ins)
+		if err := encodeLayer(w, nd.Layer); err != nil {
+			return err
+		}
+	}
+	w.u32(uint32(m.Output))
+
+	payload := w.buf.Bytes()
+	if _, err := out.Write(magic); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], formatVersion)
+	if _, err := out.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := out.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := out.Write(crc[:])
+	return err
+}
+
+func encodeLayer(w *writer, l Layer) error {
+	w.str(l.Name())
+	switch t := l.(type) {
+	case *Conv2D:
+		w.shape(t.InShape())
+		w.i(t.OutShape().C)
+		w.i(t.KH)
+		w.i(t.KW)
+		w.i(t.Stride)
+		w.i(int(t.Pad))
+		w.quant(t.InQuant)
+		w.quant(t.WQuant)
+		w.quant(t.OutQuant())
+		w.b(t.WScales != nil)
+		if t.WScales != nil {
+			w.f64s(t.WScales)
+		}
+		w.i8s(t.Weights)
+		w.i32s(t.Bias)
+		w.b(t.ReLU)
+	case *DWConv2D:
+		w.shape(t.InShape())
+		w.i(t.KH)
+		w.i(t.KW)
+		w.i(t.Stride)
+		w.i(int(t.Pad))
+		w.quant(t.InQuant)
+		w.quant(t.WQuant)
+		w.quant(t.OutQuant())
+		w.i8s(t.Weights)
+		w.i32s(t.Bias)
+		w.b(t.ReLU)
+	case *Dense:
+		w.shape(t.InShape())
+		w.i(t.OutShape().C)
+		w.quant(t.InQuant)
+		w.quant(t.WQuant)
+		w.quant(t.OutQuant())
+		w.i8s(t.Weights)
+		w.i32s(t.Bias)
+		w.b(t.ReLU)
+	case *MaxPool2D:
+		w.shape(t.InShape())
+		w.i(t.K)
+		w.i(t.Stride)
+		w.i(int(t.Pad))
+		w.quant(t.OutQuant())
+	case *AvgPool2D:
+		w.shape(t.InShape())
+		w.i(t.K)
+		w.i(t.Stride)
+		w.i(int(t.Pad))
+		w.quant(t.InQuant)
+		w.quant(t.OutQuant())
+	case *GlobalAvgPool:
+		w.shape(t.InShape())
+		w.i(0) // window 0 marks the global variant (see decodeLayer)
+		w.i(0)
+		w.i(0)
+		w.quant(t.InQuant)
+		w.quant(t.OutQuant())
+	case *Add:
+		w.shape(t.InShape())
+		w.quant(t.AQuant)
+		w.quant(t.BQuant)
+		w.quant(t.OutQuant())
+		w.b(t.ReLU)
+	case *Concat:
+		w.shape(t.InShape())
+		w.shape(t.BShape)
+		w.quant(t.AQuant)
+		w.quant(t.BQuant)
+		w.quant(t.OutQuant())
+	case *ZeroPad2D:
+		w.shape(t.InShape())
+		w.i(t.Top)
+		w.i(t.Bottom)
+		w.i(t.Left)
+		w.i(t.Right)
+		w.quant(t.OutQuant())
+	case *ReLULayer:
+		w.shape(t.InShape())
+		w.quant(t.OutQuant())
+	case *Softmax:
+		w.shape(t.InShape())
+		w.quant(t.InQuant)
+	case *Flatten:
+		w.shape(t.InShape())
+		w.quant(t.OutQuant())
+	default:
+		return fmt.Errorf("nn: cannot serialize layer kind %v", l.Kind())
+	}
+	return nil
+}
+
+// Load reads a model in the binary format, verifying magic, version and
+// checksum, and validates the decoded graph.
+func Load(in io.Reader) (*Model, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+8 || !bytes.Equal(data[:len(magic)], magic) {
+		return nil, fmt.Errorf("nn: not an RTMDM model file")
+	}
+	ver := binary.LittleEndian.Uint32(data[len(magic):])
+	if ver != formatVersion {
+		return nil, fmt.Errorf("nn: unsupported model format version %d", ver)
+	}
+	payload := data[len(magic)+4 : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("nn: model checksum mismatch")
+	}
+
+	r := &reader{data: payload}
+	m := &Model{
+		Name:    r.str(),
+		Input:   r.shape(),
+		InQuant: r.quant(),
+	}
+	n := r.u32()
+	if n > 1<<16 {
+		return nil, fmt.Errorf("nn: implausible node count %d", n)
+	}
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		kind := Kind(r.u32())
+		ins32 := r.i32s()
+		ins := make([]int, len(ins32))
+		for k, v := range ins32 {
+			ins[k] = int(v)
+		}
+		l := decodeLayer(r, kind)
+		if r.err != nil {
+			break
+		}
+		m.Nodes = append(m.Nodes, Node{Layer: l, Inputs: ins})
+	}
+	m.Output = r.i()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("nn: %d trailing bytes in model file", len(payload)-r.pos)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeLayer(r *reader, kind Kind) Layer {
+	name := r.str()
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail("layer %s: %v", name, p)
+		}
+	}()
+	switch kind {
+	case KindConv2D:
+		in := r.shape()
+		outC, kh, kw, stride, pad := r.i(), r.i(), r.i(), r.i(), Padding(r.i())
+		inQ, wQ, outQ := r.quant(), r.quant(), r.quant()
+		var scales []float64
+		if r.b() {
+			scales = r.f64s()
+		}
+		weights, bias, relu := r.i8s(), r.i32s(), r.b()
+		if r.err != nil {
+			return nil
+		}
+		if scales != nil {
+			return NewConv2DPerChannel(name, in, outC, kh, kw, stride, pad, inQ, scales, outQ, weights, bias, relu)
+		}
+		return NewConv2D(name, in, outC, kh, kw, stride, pad, inQ, wQ, outQ, weights, bias, relu)
+	case KindDWConv2D:
+		in := r.shape()
+		kh, kw, stride, pad := r.i(), r.i(), r.i(), Padding(r.i())
+		inQ, wQ, outQ := r.quant(), r.quant(), r.quant()
+		weights, bias, relu := r.i8s(), r.i32s(), r.b()
+		if r.err != nil {
+			return nil
+		}
+		return NewDWConv2D(name, in, kh, kw, stride, pad, inQ, wQ, outQ, weights, bias, relu)
+	case KindDense:
+		in := r.shape()
+		outN := r.i()
+		inQ, wQ, outQ := r.quant(), r.quant(), r.quant()
+		weights, bias, relu := r.i8s(), r.i32s(), r.b()
+		if r.err != nil {
+			return nil
+		}
+		return NewDense(name, in, outN, inQ, wQ, outQ, weights, bias, relu)
+	case KindMaxPool:
+		in := r.shape()
+		k, stride, pad := r.i(), r.i(), Padding(r.i())
+		q := r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewMaxPool2D(name, in, k, stride, pad, q)
+	case KindAvgPool:
+		in := r.shape()
+		k, stride, pad := r.i(), r.i(), Padding(r.i())
+		// GlobalAvgPool and windowed AvgPool2D share the kind; the window
+		// value 0 marks the global variant.
+		if k == 0 {
+			inQ, outQ := r.quant(), r.quant()
+			if r.err != nil {
+				return nil
+			}
+			return NewGlobalAvgPool(name, in, inQ, outQ)
+		}
+		inQ, outQ := r.quant(), r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewAvgPool2D(name, in, k, stride, pad, inQ, outQ)
+	case KindAdd:
+		in := r.shape()
+		aQ, bQ, outQ := r.quant(), r.quant(), r.quant()
+		relu := r.b()
+		if r.err != nil {
+			return nil
+		}
+		return NewAdd(name, in, aQ, bQ, outQ, relu)
+	case KindConcat:
+		a, b := r.shape(), r.shape()
+		aQ, bQ, outQ := r.quant(), r.quant(), r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewConcat(name, a, b, aQ, bQ, outQ)
+	case KindPad:
+		in := r.shape()
+		top, bottom, left, right := r.i(), r.i(), r.i(), r.i()
+		q := r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewZeroPad2D(name, in, top, bottom, left, right, q)
+	case KindReLU:
+		in := r.shape()
+		q := r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewReLU(name, in, q)
+	case KindSoftmax:
+		in := r.shape()
+		q := r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewSoftmax(name, in, q)
+	case KindFlatten:
+		in := r.shape()
+		q := r.quant()
+		if r.err != nil {
+			return nil
+		}
+		return NewFlatten(name, in, q)
+	default:
+		r.fail("unknown layer kind %d", kind)
+		return nil
+	}
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// buildSerializable constructs a graph touching every serializable layer
+// kind, including a per-channel conv, residual add and concat branches.
+func buildSerializable(t *testing.T) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	qp := q(1.0/32, 0)
+	in := Shape{8, 8, 2}
+	b := NewBuilder("everything", in, qp)
+
+	pad := NewZeroPad2D("pad", in, 1, 1, 1, 1, qp)
+	b.Add(pad)
+	scales := []float64{0.01, 0.012, 0.008, 0.011}
+	conv := NewConv2DPerChannel("convpc", pad.OutShape(), 4, 3, 3, 1, PadValid,
+		qp, scales, qp, randWeights(rng, 4*9*2), randBias(rng, 4, 60), true)
+	trunk := b.Add(conv)
+	dw := NewDWConv2D("dw", conv.OutShape(), 3, 3, 1, PadSame,
+		qp, q(0.02, 0), qp, randWeights(rng, 9*4), randBias(rng, 4, 40), true)
+	dwIdx := b.Add(dw, trunk)
+	add := NewAdd("add", conv.OutShape(), qp, qp, qp, true)
+	addIdx := b.Add(add, dwIdx, trunk)
+
+	mp := NewMaxPool2D("mp", add.OutShape(), 2, 2, PadValid, qp)
+	mpIdx := b.Add(mp, addIdx)
+	ap := NewAvgPool2D("ap", add.OutShape(), 2, 2, PadValid, qp, qp)
+	apIdx := b.Add(ap, addIdx)
+	cat := NewConcat("cat", mp.OutShape(), ap.OutShape(), qp, qp, qp)
+	catIdx := b.Add(cat, mpIdx, apIdx)
+
+	relu := NewReLU("relu", cat.OutShape(), qp)
+	b.Add(relu, catIdx)
+	gap := NewGlobalAvgPool("gap", relu.OutShape(), qp, qp)
+	b.Add(gap)
+	fl := NewFlatten("fl", gap.OutShape(), qp)
+	b.Add(fl)
+	d := NewDense("fc", fl.OutShape(), 5, qp, q(0.01, 0), qp,
+		randWeights(rng, fl.OutShape().Elems()*5), randBias(rng, 5, 80), false)
+	b.Add(d)
+	sm := NewSoftmax("sm", d.OutShape(), d.OutQuant())
+	b.Add(sm)
+	return b.MustBuild()
+}
+
+func roundTrip(t *testing.T, m *Model) *Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripAllLayerKinds(t *testing.T) {
+	m := buildSerializable(t)
+	got := roundTrip(t, m)
+	if got.Name != m.Name || got.Input != m.Input || got.Output != m.Output {
+		t.Fatalf("header mismatch: %s %v %d", got.Name, got.Input, got.Output)
+	}
+	if got.TotalParamBytes() != m.TotalParamBytes() || got.TotalMACs() != m.TotalMACs() {
+		t.Fatal("accounting mismatch after round trip")
+	}
+	// Behavioural equality: identical outputs on random inputs.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		x := randInput(rng, m.Input, m.InQuant)
+		a, b := m.Forward(x), got.Forward(x)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("trial %d: outputs diverge at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	m := buildSerializable(t)
+	var a, b bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	m := buildSerializable(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), data...)
+	bad[len(magic)] = 99
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Flipped payload byte → CRC failure.
+	bad = append([]byte(nil), data...)
+	bad[len(data)/2] ^= 0x40
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// Truncation.
+	if _, err := Load(bytes.NewReader(data[:len(data)-9])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Empty.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestRoundTripPreservesPerChannelScales(t *testing.T) {
+	m := buildSerializable(t)
+	got := roundTrip(t, m)
+	var orig, loaded *Conv2D
+	for _, nd := range m.Nodes {
+		if c, ok := nd.Layer.(*Conv2D); ok && c.WScales != nil {
+			orig = c
+		}
+	}
+	for _, nd := range got.Nodes {
+		if c, ok := nd.Layer.(*Conv2D); ok && c.WScales != nil {
+			loaded = c
+		}
+	}
+	if orig == nil || loaded == nil {
+		t.Fatal("per-channel conv lost in round trip")
+	}
+	for i := range orig.WScales {
+		if orig.WScales[i] != loaded.WScales[i] {
+			t.Fatal("per-channel scales differ")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import "fmt"
+
+// This file implements output-channel slicing of weighted kernels: the
+// executable counterpart of the segmenter's fractional layer parts. A
+// sliced kernel computes output channels [from, to) of the original layer
+// with exactly the weights the corresponding parameter chunk would stage,
+// so segment-wise execution can be proven bit-identical to whole-model
+// execution (see internal/cosim).
+
+// SliceConv2D returns a convolution computing output channels [from, to)
+// of l. The slice consumes the full input tensor.
+func SliceConv2D(l *Conv2D, from, to int) *Conv2D {
+	checkSlice(l.Name(), from, to, l.OutShape().C)
+	n := to - from
+	kSize := l.KH * l.KW * l.InShape().C
+	sub := &Conv2D{
+		base: base{
+			name:     fmt.Sprintf("%s[%d:%d]", l.Name(), from, to),
+			kind:     KindConv2D,
+			in:       l.InShape(),
+			out:      Shape{l.OutShape().H, l.OutShape().W, n},
+			outQuant: l.OutQuant(),
+		},
+		KH: l.KH, KW: l.KW, Stride: l.Stride, Pad: l.Pad,
+		InQuant: l.InQuant, WQuant: l.WQuant,
+		Weights: l.Weights[from*kSize : to*kSize],
+		Bias:    l.Bias[from:to],
+		ReLU:    l.ReLU,
+	}
+	if l.WScales != nil {
+		sub.WScales = l.WScales[from:to]
+	}
+	return sub
+}
+
+// SliceDense returns a fully-connected layer computing output neurons
+// [from, to) of l.
+func SliceDense(l *Dense, from, to int) *Dense {
+	checkSlice(l.Name(), from, to, l.OutShape().C)
+	inN := l.InShape().Elems()
+	return &Dense{
+		base: base{
+			name:     fmt.Sprintf("%s[%d:%d]", l.Name(), from, to),
+			kind:     KindDense,
+			in:       l.InShape(),
+			out:      Shape{1, 1, to - from},
+			outQuant: l.OutQuant(),
+		},
+		InQuant: l.InQuant, WQuant: l.WQuant,
+		Weights: l.Weights[from*inN : to*inN],
+		Bias:    l.Bias[from:to],
+		ReLU:    l.ReLU,
+	}
+}
+
+// SliceDWConv2D returns a depthwise convolution computing channels
+// [from, to) of l. Depthwise channels are independent, so the slice
+// consumes only input channels [from, to) — use SliceChannels on the input
+// tensor before calling Forward.
+func SliceDWConv2D(l *DWConv2D, from, to int) *DWConv2D {
+	checkSlice(l.Name(), from, to, l.OutShape().C)
+	n := to - from
+	in := l.InShape()
+	// Depthwise weights are laid out [KH][KW][C]: gather the channel band.
+	w := make([]int8, l.KH*l.KW*n)
+	for k := 0; k < l.KH*l.KW; k++ {
+		copy(w[k*n:(k+1)*n], l.Weights[k*in.C+from:k*in.C+to])
+	}
+	return &DWConv2D{
+		base: base{
+			name:     fmt.Sprintf("%s[%d:%d]", l.Name(), from, to),
+			kind:     KindDWConv2D,
+			in:       Shape{in.H, in.W, n},
+			out:      Shape{l.OutShape().H, l.OutShape().W, n},
+			outQuant: l.OutQuant(),
+		},
+		KH: l.KH, KW: l.KW, Stride: l.Stride, Pad: l.Pad,
+		InQuant: l.InQuant, WQuant: l.WQuant,
+		Weights: w,
+		Bias:    l.Bias[from:to],
+		ReLU:    l.ReLU,
+	}
+}
+
+// SliceChannels extracts channels [from, to) of a tensor.
+func SliceChannels(t *Tensor, from, to int) *Tensor {
+	if from < 0 || to > t.Shape.C || from >= to {
+		panic(fmt.Sprintf("nn: channel slice [%d, %d) of %v", from, to, t.Shape))
+	}
+	out := NewTensor(Shape{t.Shape.H, t.Shape.W, to - from}, t.Quant)
+	for h := 0; h < t.Shape.H; h++ {
+		for w := 0; w < t.Shape.W; w++ {
+			for c := from; c < to; c++ {
+				out.Set(h, w, c-from, t.At(h, w, c))
+			}
+		}
+	}
+	return out
+}
+
+// PlaceChannels writes src into channels [from, from+src.C) of dst.
+func PlaceChannels(dst, src *Tensor, from int) {
+	if src.Shape.H != dst.Shape.H || src.Shape.W != dst.Shape.W ||
+		from < 0 || from+src.Shape.C > dst.Shape.C {
+		panic(fmt.Sprintf("nn: cannot place %v into %v at channel %d", src.Shape, dst.Shape, from))
+	}
+	for h := 0; h < src.Shape.H; h++ {
+		for w := 0; w < src.Shape.W; w++ {
+			for c := 0; c < src.Shape.C; c++ {
+				dst.Set(h, w, from+c, src.At(h, w, c))
+			}
+		}
+	}
+}
+
+func checkSlice(name string, from, to, c int) {
+	if from < 0 || to > c || from >= to {
+		panic(fmt.Sprintf("nn: slice [%d, %d) of %s with %d channels", from, to, name, c))
+	}
+}

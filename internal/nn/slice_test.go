@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Slicing property: concatenating the outputs of channel slices reproduces
+// the whole layer bit-for-bit, for any cut points.
+func TestPropertyConvSliceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{rng.Intn(5) + 3, rng.Intn(5) + 3, rng.Intn(3) + 1}
+		outC := rng.Intn(7) + 2
+		l := NewConv2D("c", in, outC, 3, 3, 1, PadSame,
+			q(0.05, int32(rng.Intn(5)-2)), q(0.012, 0), q(0.3, 0),
+			randWeights(rng, outC*9*in.C), randBias(rng, outC, 200), rng.Intn(2) == 0)
+		x := randInput(rng, in, l.InQuant)
+		want := l.Forward(x)
+		cut := rng.Intn(outC-1) + 1
+		got := NewTensor(want.Shape, want.Quant)
+		PlaceChannels(got, SliceConv2D(l, 0, cut).Forward(x), 0)
+		PlaceChannels(got, SliceConv2D(l, cut, outC).Forward(x), cut)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPerChannelConvSliceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{4, 4, 2}
+		outC := rng.Intn(6) + 2
+		scales := make([]float64, outC)
+		for i := range scales {
+			scales[i] = 0.005 + 0.02*rng.Float64()
+		}
+		l := NewConv2DPerChannel("c", in, outC, 3, 3, 1, PadSame,
+			q(0.05, 0), scales, q(0.3, 0),
+			randWeights(rng, outC*9*2), randBias(rng, outC, 200), true)
+		x := randInput(rng, in, l.InQuant)
+		want := l.Forward(x)
+		cut := rng.Intn(outC-1) + 1
+		got := NewTensor(want.Shape, want.Quant)
+		PlaceChannels(got, SliceConv2D(l, 0, cut).Forward(x), 0)
+		PlaceChannels(got, SliceConv2D(l, cut, outC).Forward(x), cut)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDenseSliceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{1, 1, rng.Intn(40) + 2}
+		outN := rng.Intn(10) + 2
+		l := NewDense("fc", in, outN, q(0.04, 0), q(0.01, 0), q(0.4, 0),
+			randWeights(rng, in.Elems()*outN), randBias(rng, outN, 500), rng.Intn(2) == 0)
+		x := randInput(rng, in, l.InQuant)
+		want := l.Forward(x)
+		cut := rng.Intn(outN-1) + 1
+		got := NewTensor(want.Shape, want.Quant)
+		PlaceChannels(got, SliceDense(l, 0, cut).Forward(x), 0)
+		PlaceChannels(got, SliceDense(l, cut, outN).Forward(x), cut)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDWConvSliceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := Shape{rng.Intn(4) + 3, rng.Intn(4) + 3, rng.Intn(6) + 2}
+		l := NewDWConv2D("d", in, 3, 3, 1, PadSame,
+			q(0.05, 0), q(0.02, 0), q(0.25, 0),
+			randWeights(rng, 9*in.C), randBias(rng, in.C, 200), rng.Intn(2) == 0)
+		x := randInput(rng, in, l.InQuant)
+		want := l.Forward(x)
+		cut := rng.Intn(in.C-1) + 1
+		got := NewTensor(want.Shape, want.Quant)
+		lo := SliceDWConv2D(l, 0, cut)
+		hi := SliceDWConv2D(l, cut, in.C)
+		PlaceChannels(got, lo.Forward(SliceChannels(x, 0, cut)), 0)
+		PlaceChannels(got, hi.Forward(SliceChannels(x, cut, in.C)), cut)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceBoundsChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewDense("fc", Shape{1, 1, 4}, 4, q(0.04, 0), q(0.01, 0), q(0.4, 0),
+		randWeights(rng, 16), randBias(rng, 4, 10), false)
+	for _, c := range [][2]int{{-1, 2}, {2, 2}, {3, 5}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("slice [%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			SliceDense(l, c[0], c[1])
+		}()
+	}
+}
+
+func TestSliceChannelsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randInput(rng, Shape{3, 3, 5}, q(0.1, 0))
+	dst := NewTensor(x.Shape, x.Quant)
+	PlaceChannels(dst, SliceChannels(x, 0, 2), 0)
+	PlaceChannels(dst, SliceChannels(x, 2, 5), 2)
+	for i := range x.Data {
+		if dst.Data[i] != x.Data[i] {
+			t.Fatal("slice/place round trip lost data")
+		}
+	}
+}

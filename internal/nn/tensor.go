@@ -1,0 +1,108 @@
+// Package nn implements the quantized neural-network substrate used by the
+// RT-MDM reproduction: tensors, int8 layer kernels in the style of CMSIS-NN,
+// float32 reference kernels, and a small directed-acyclic-graph model
+// representation with static shape, parameter and MAC accounting.
+//
+// The kernels really execute — model parameter counts, working-set sizes and
+// MAC counts that feed the scheduling experiments are measured from the same
+// graphs the examples run, not transcribed by hand.
+package nn
+
+import "fmt"
+
+// Shape describes a tensor layout in NHWC order with the batch dimension
+// fixed at 1 (MCU inference is single-sample). A fully-connected activation
+// uses H=W=1.
+type Shape struct {
+	H, W, C int
+}
+
+// Elems returns the number of elements in the shape.
+func (s Shape) Elems() int { return s.H * s.W * s.C }
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool { return s.H > 0 && s.W > 0 && s.C > 0 }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.C) }
+
+// QuantParams is a per-tensor affine quantization: real = Scale*(q - Zero).
+type QuantParams struct {
+	Scale float64
+	Zero  int32
+}
+
+// Dequant converts a quantized value to its real-valued interpretation.
+func (q QuantParams) Dequant(v int8) float64 { return q.Scale * float64(int32(v)-q.Zero) }
+
+// Quant converts a real value to the nearest representable quantized value,
+// saturating to the int8 range.
+func (q QuantParams) Quant(r float64) int8 {
+	v := roundHalfAwayFromZero(r/q.Scale) + float64(q.Zero)
+	return satInt8(clampInt32Range(v))
+}
+
+// clampInt32Range converts a float to int32, saturating instead of relying
+// on Go's implementation-defined out-of-range conversion.
+func clampInt32Range(v float64) int32 {
+	if v >= 2147483647 {
+		return 2147483647
+	}
+	if v <= -2147483648 {
+		return -2147483648
+	}
+	return int32(v)
+}
+
+// Tensor is an int8 activation or weight tensor with its quantization.
+type Tensor struct {
+	Shape Shape
+	Quant QuantParams
+	Data  []int8
+}
+
+// NewTensor allocates a zeroed tensor of the given shape.
+func NewTensor(s Shape, q QuantParams) *Tensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("nn: invalid tensor shape %v", s))
+	}
+	return &Tensor{Shape: s, Quant: q, Data: make([]int8, s.Elems())}
+}
+
+// At returns the element at (h, w, c).
+func (t *Tensor) At(h, w, c int) int8 {
+	return t.Data[(h*t.Shape.W+w)*t.Shape.C+c]
+}
+
+// Set writes the element at (h, w, c).
+func (t *Tensor) Set(h, w, c int, v int8) {
+	t.Data[(h*t.Shape.W+w)*t.Shape.C+c] = v
+}
+
+// Floats dequantizes the whole tensor (reference-path helper).
+func (t *Tensor) Floats() []float64 {
+	out := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = t.Quant.Dequant(v)
+	}
+	return out
+}
+
+// SizeBytes returns the in-memory footprint of the tensor payload.
+func (t *Tensor) SizeBytes() int { return len(t.Data) }
+
+func satInt8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+func roundHalfAwayFromZero(x float64) float64 {
+	if x >= 0 {
+		return float64(int64(x + 0.5))
+	}
+	return float64(int64(x - 0.5))
+}

@@ -1,0 +1,311 @@
+// Package platform provides the simulated MCU hardware: a single CPU core,
+// a single-channel DMA engine fed by an external memory, an SRAM staging
+// allocator, and the shared bus that couples CPU and DMA progress rates.
+// All components operate in the virtual time of an internal/sim engine, so
+// behaviour is deterministic and independent of the Go runtime.
+package platform
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/sim"
+)
+
+// Bus couples the progress rates of the CPU and the DMA engine according to
+// a cost.Contention model: while both are active each runs derated.
+type Bus struct {
+	eng *sim.Engine
+	c   cost.Contention
+	cpu *CPU
+	dma *DMA
+}
+
+// NewBus creates the shared bus and the attached CPU and DMA devices.
+func NewBus(eng *sim.Engine, p cost.Platform) (*Bus, *CPU, *DMA) {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("platform: %v", err))
+	}
+	b := &Bus{eng: eng, c: p.Bus}
+	b.cpu = &CPU{eng: eng, bus: b}
+	b.dma = &DMA{eng: eng, bus: b, mem: p.Mem}
+	return b, b.cpu, b.dma
+}
+
+// update recomputes both devices' progress rates after any activity change.
+func (b *Bus) update() {
+	cpuBusy, dmaBusy := b.cpu.Busy(), b.dma.Busy()
+	if b.cpu.act != nil && b.cpu.act.Running() {
+		num, den := int64(1), int64(1)
+		if dmaBusy {
+			num, den = b.c.CPUNum, b.c.CPUDen
+		}
+		b.cpu.act.SetRate(num, den)
+	}
+	if b.dma.act != nil && b.dma.act.Running() {
+		num, den := int64(1), int64(1)
+		if cpuBusy {
+			num, den = b.c.DMANum, b.c.DMADen
+		}
+		b.dma.act.SetRate(num, den)
+	}
+}
+
+// CPU is the single MCU core. It executes one non-preemptive work item at a
+// time; the executor layers preemption at segment boundaries above it.
+type CPU struct {
+	eng  *sim.Engine
+	bus  *Bus
+	act  *sim.Activity
+	busy bool
+	// BusyNs accumulates pure work-ns executed (at unit rate), for
+	// utilization accounting.
+	BusyNs int64
+}
+
+// Busy reports whether a work item is in flight.
+func (c *CPU) Busy() bool { return c.busy }
+
+// RemainingWorkNs returns the work-ns left in the current item (0 when
+// idle). Wall-clock remaining is at least this (rates never exceed 1).
+func (c *CPU) RemainingWorkNs() int64 {
+	if !c.busy || c.act == nil {
+		return 0
+	}
+	return c.act.Remaining()
+}
+
+// Run starts a non-preemptive work item of the given duration (work-ns at
+// full rate). onDone fires in virtual time when it completes. Running while
+// busy panics: the executor must serialize.
+func (c *CPU) Run(workNs int64, onDone func()) {
+	if c.busy {
+		panic("platform: CPU.Run while busy")
+	}
+	if workNs < 0 {
+		panic(fmt.Sprintf("platform: negative CPU work %d", workNs))
+	}
+	c.busy = true
+	c.BusyNs += workNs
+	c.act = sim.NewActivity(c.eng, workNs, func() {
+		c.busy = false
+		c.act = nil
+		c.bus.update()
+		onDone()
+	})
+	// Start at the rate implied by current DMA activity.
+	num, den := int64(1), int64(1)
+	if c.bus.dma.Busy() {
+		num, den = c.bus.c.CPUNum, c.bus.c.CPUDen
+	}
+	c.act.Start(num, den)
+	c.bus.update()
+}
+
+// Arbitration selects the DMA queue ordering.
+type Arbitration int
+
+const (
+	// ArbPriority serves the pending transfer with the numerically
+	// smallest priority value first (ties FIFO).
+	ArbPriority Arbitration = iota
+	// ArbFIFO serves transfers strictly in submission order.
+	ArbFIFO
+)
+
+func (a Arbitration) String() string {
+	if a == ArbFIFO {
+		return "fifo"
+	}
+	return "priority"
+}
+
+// Transfer is a queued DMA request.
+type Transfer struct {
+	// Bytes to move from external memory to SRAM.
+	Bytes int64
+	// Priority orders the queue under ArbPriority; smaller is more urgent.
+	Priority int
+	// OnStart fires when the transfer leaves the queue and occupies the
+	// channel; OnDone when it completes. Either may be nil.
+	OnStart func()
+	OnDone  func()
+
+	seq   uint64
+	index int
+}
+
+type transferQueue struct {
+	items []*Transfer
+	arb   Arbitration
+}
+
+func (q *transferQueue) Len() int { return len(q.items) }
+func (q *transferQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.arb == ArbPriority && a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+func (q *transferQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+func (q *transferQueue) Push(x any) {
+	t := x.(*Transfer)
+	t.index = len(q.items)
+	q.items = append(q.items, t)
+}
+func (q *transferQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	q.items = old[:n-1]
+	return t
+}
+
+// DMA is the single-channel DMA engine reading from external memory.
+// Transfers are non-preemptive; queued requests are served according to the
+// configured arbitration.
+type DMA struct {
+	eng     *sim.Engine
+	bus     *Bus
+	mem     cost.MemProfile
+	queue   transferQueue
+	current *Transfer
+	act     *sim.Activity
+	seq     uint64
+	// BusyNs accumulates pure transfer work-ns (at unit rate).
+	BusyNs int64
+	// Completed counts finished transfers.
+	Completed uint64
+}
+
+// SetArbitration selects the queue policy; it must be called before any
+// transfer is submitted.
+func (d *DMA) SetArbitration(a Arbitration) {
+	if d.current != nil || d.queue.Len() > 0 {
+		panic("platform: SetArbitration with transfers in flight")
+	}
+	d.queue.arb = a
+}
+
+// Busy reports whether a transfer occupies the channel.
+func (d *DMA) Busy() bool { return d.current != nil }
+
+// QueueLen returns the number of queued (not yet started) transfers.
+func (d *DMA) QueueLen() int { return d.queue.Len() }
+
+// Submit enqueues a transfer. Zero-byte transfers complete immediately
+// without occupying the channel.
+func (d *DMA) Submit(t *Transfer) {
+	if t.Bytes < 0 {
+		panic(fmt.Sprintf("platform: negative transfer size %d", t.Bytes))
+	}
+	if t.Bytes == 0 {
+		if t.OnStart != nil {
+			t.OnStart()
+		}
+		if t.OnDone != nil {
+			t.OnDone()
+		}
+		return
+	}
+	t.seq = d.seq
+	d.seq++
+	heap.Push(&d.queue, t)
+	d.tryStart()
+}
+
+// Cancel removes a still-queued transfer. It returns false if the transfer
+// already started (non-preemptive transfers cannot be revoked).
+func (d *DMA) Cancel(t *Transfer) bool {
+	if t == d.current || t.index < 0 {
+		return false
+	}
+	heap.Remove(&d.queue, t.index)
+	t.index = -1
+	return true
+}
+
+func (d *DMA) tryStart() {
+	if d.current != nil || d.queue.Len() == 0 {
+		return
+	}
+	t := heap.Pop(&d.queue).(*Transfer)
+	d.current = t
+	work := d.mem.TransferNs(t.Bytes)
+	d.BusyNs += work
+	if t.OnStart != nil {
+		t.OnStart()
+	}
+	d.act = sim.NewActivity(d.eng, work, func() {
+		d.current = nil
+		d.act = nil
+		d.Completed++
+		d.bus.update()
+		if t.OnDone != nil {
+			t.OnDone()
+		}
+		d.tryStart()
+	})
+	num, den := int64(1), int64(1)
+	if d.bus.cpu.Busy() {
+		num, den = d.bus.c.DMANum, d.bus.c.DMADen
+	}
+	d.act.Start(num, den)
+	d.bus.update()
+}
+
+// SRAM is the staging allocator for parameter buffers. It does pure
+// capacity accounting: the executor owns placement policy.
+type SRAM struct {
+	Capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewSRAM creates an allocator with the given capacity in bytes.
+func NewSRAM(capacity int64) *SRAM {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("platform: non-positive SRAM capacity %d", capacity))
+	}
+	return &SRAM{Capacity: capacity}
+}
+
+// Used returns the currently allocated bytes.
+func (s *SRAM) Used() int64 { return s.used }
+
+// Peak returns the high-water mark of allocated bytes.
+func (s *SRAM) Peak() int64 { return s.peak }
+
+// Free returns the available bytes.
+func (s *SRAM) Free() int64 { return s.Capacity - s.used }
+
+// Alloc reserves n bytes, failing (false) if capacity would be exceeded.
+func (s *SRAM) Alloc(n int64) bool {
+	if n < 0 {
+		panic(fmt.Sprintf("platform: negative alloc %d", n))
+	}
+	if s.used+n > s.Capacity {
+		return false
+	}
+	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+	return true
+}
+
+// Release returns n bytes to the pool.
+func (s *SRAM) Release(n int64) {
+	if n < 0 || n > s.used {
+		panic(fmt.Sprintf("platform: release %d with %d used", n, s.used))
+	}
+	s.used -= n
+}

@@ -1,0 +1,189 @@
+// Package plot renders experiment tables as standalone SVG line charts —
+// the figures of the reconstructed evaluation. Stdlib only: the SVG is
+// assembled textually with numeric formatting kept deterministic.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart is a complete figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMax forces the y-axis top (0 = auto).
+	YMax float64
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+}
+
+const (
+	width   = 720.0
+	height  = 440.0
+	marginL = 70.0
+	marginR = 170.0
+	marginT = 50.0
+	marginB = 55.0
+)
+
+// Render writes the chart as an SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x / %d y points", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMax > 0 {
+		ymax = c.YMax
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+
+	// Gridlines and ticks: 5 divisions each axis.
+	for i := 0; i <= 5; i++ {
+		gx := xmin + (xmax-xmin)*float64(i)/5
+		gy := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%s" y1="%g" x2="%s" y2="%g" stroke="#ddd"/>`+"\n",
+			f(px(gx)), marginT, f(px(gx)), marginT+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%s" x2="%g" y2="%s" stroke="#ddd"/>`+"\n",
+			marginL, f(py(gy)), marginL+plotW, f(py(gy)))
+		fmt.Fprintf(&b, `<text x="%s" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			f(px(gx)), marginT+plotH+18, trimFloat(gx))
+		fmt.Fprintf(&b, `<text x="%g" y="%s" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, f(py(gy)+4), trimFloat(gy))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, f(px(s.X[i]))+","+f(py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n",
+				f(px(s.X[i])), f(py(s.Y[i])), color)
+		}
+		// Legend entry.
+		ly := marginT + 16 + float64(si)*20
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+36, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotW+42, ly+4, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// FromTable interprets a table whose first column is numeric (the x axis)
+// and whose remaining numeric/percent columns become series. Non-numeric
+// columns are skipped; it errors when nothing plottable remains.
+func FromTable(title string, columns []string, rows [][]string) (*Chart, error) {
+	if len(rows) == 0 || len(columns) < 2 {
+		return nil, fmt.Errorf("plot: table too small")
+	}
+	parse := func(cell string) (float64, bool) {
+		cell = strings.TrimSuffix(strings.TrimSpace(cell), "%")
+		v, err := strconv.ParseFloat(cell, 64)
+		return v, err == nil
+	}
+	var xs []float64
+	for _, row := range rows {
+		x, ok := parse(row[0])
+		if !ok {
+			return nil, fmt.Errorf("plot: non-numeric x cell %q", row[0])
+		}
+		xs = append(xs, x)
+	}
+	ch := &Chart{Title: title, XLabel: columns[0], YLabel: "value"}
+	percentY := true
+	for col := 1; col < len(columns); col++ {
+		var ys []float64
+		ok := true
+		for _, row := range rows {
+			v, good := parse(row[col])
+			if !good {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+			if !strings.HasSuffix(strings.TrimSpace(row[col]), "%") {
+				percentY = false
+			}
+		}
+		if ok {
+			ch.Series = append(ch.Series, Series{Label: columns[col], X: xs, Y: ys})
+		}
+	}
+	if len(ch.Series) == 0 {
+		return nil, fmt.Errorf("plot: no numeric series in table")
+	}
+	if percentY {
+		ch.YLabel = "percent"
+		ch.YMax = 100
+	}
+	return ch, nil
+}

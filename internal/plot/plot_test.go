@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title: "demo", XLabel: "util", YLabel: "percent",
+		Series: []Series{
+			{Label: "a", X: []float64{0.2, 0.4, 0.6}, Y: []float64{100, 80, 20}},
+			{Label: "b", X: []float64{0.2, 0.4, 0.6}, Y: []float64{90, 50, 0}},
+		},
+		YMax: 100,
+	}
+}
+
+func TestRenderProducesValidSVGStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := chart().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "demo", "util", "percent",
+		`<polyline`, `<circle`, ">a</text>", ">b</text>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q:\n%s", want, svg[:200])
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Fatalf("markers = %d, want 6", got)
+	}
+}
+
+func TestRenderIsDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := chart().Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := chart().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestRenderRejectsBadSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Label: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	if err := (&Chart{}).Render(&sb); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestRenderEscapesMarkup(t *testing.T) {
+	c := chart()
+	c.Title = "a<b&c"
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "a<b") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(sb.String(), "a&lt;b&amp;c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFromTablePercentColumns(t *testing.T) {
+	cols := []string{"util", "npfp", "rt-mdm", "note"}
+	rows := [][]string{
+		{"0.20", "60.5%", "100.0%", "x"},
+		{"0.40", "28.5%", "98.5%", "y"},
+		{"0.60", "3.0%", "84.5%", "z"},
+	}
+	ch, err := FromTable("F4", cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (note column skipped)", len(ch.Series))
+	}
+	if ch.YMax != 100 || ch.YLabel != "percent" {
+		t.Fatalf("percent axis not detected: %v %q", ch.YMax, ch.YLabel)
+	}
+	if ch.Series[1].Y[2] != 84.5 {
+		t.Fatalf("parsed y = %v", ch.Series[1].Y)
+	}
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTableRejectsUnplottable(t *testing.T) {
+	if _, err := FromTable("x", []string{"a", "b"}, [][]string{{"foo", "1"}}); err == nil {
+		t.Fatal("non-numeric x accepted")
+	}
+	if _, err := FromTable("x", []string{"a", "b"}, [][]string{{"1", "foo"}}); err == nil {
+		t.Fatal("table with no numeric series accepted")
+	}
+	if _, err := FromTable("x", []string{"a"}, nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestFromTableMixedUnits(t *testing.T) {
+	cols := []string{"bw", "lat(ms)"}
+	rows := [][]string{{"16", "1.5"}, {"32", "1.2"}}
+	ch, err := FromTable("F3", cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.YMax != 0 || ch.YLabel != "value" {
+		t.Fatal("non-percent table forced percent axis")
+	}
+}

@@ -1,0 +1,35 @@
+package scenario
+
+import "testing"
+
+// FuzzParse asserts the JSON scenario parser never panics and that any
+// accepted scenario resolves or fails cleanly at Build.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(good))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":-1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Build must not panic either; errors are fine.
+		_, _, _, _ = sc.Build()
+	})
+}
+
+// FuzzParseTaskList asserts the compact CLI syntax parser is total.
+func FuzzParseTaskList(f *testing.F) {
+	f.Add("ds-cnn:50,lenet5:100:80")
+	f.Add(":::")
+	f.Add(",")
+	f.Add("m:1e309")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseTaskList(s, 1)
+		if err == nil && len(specs) == 0 {
+			t.Fatal("accepted empty task list")
+		}
+	})
+}

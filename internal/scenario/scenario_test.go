@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtmdm/internal/models"
+	"rtmdm/internal/sim"
+)
+
+const good = `{
+  "platform": "stm32h743",
+  "policy": "rt-mdm",
+  "horizon_ms": 600,
+  "tasks": [
+    {"name": "kws", "model": "ds-cnn", "period_ms": 50},
+    {"name": "det", "model": "mobilenetv1-0.25", "period_ms": 150, "deadline_ms": 120},
+    {"name": "anomaly", "model": "autoencoder", "period_ms": 100, "offset_ms": 5}
+  ]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	sc, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Horizon() != 600*sim.Millisecond {
+		t.Fatalf("horizon %v", sc.Horizon())
+	}
+	set, plat, pol, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat.Name != "stm32h743" || pol.Name != "rt-mdm" {
+		t.Fatalf("resolved %s/%s", plat.Name, pol.Name)
+	}
+	if len(set.Tasks) != 3 {
+		t.Fatalf("%d tasks", len(set.Tasks))
+	}
+	for _, tk := range set.Tasks {
+		if tk.Name == "det" && tk.Deadline != 120*sim.Millisecond {
+			t.Fatalf("det deadline %v", tk.Deadline)
+		}
+		if tk.Name == "anomaly" && tk.Offset != 5*sim.Millisecond {
+			t.Fatalf("anomaly offset %v", tk.Offset)
+		}
+	}
+	// RM assignment: kws (50 ms) most urgent.
+	for _, tk := range set.ByPriority()[:1] {
+		if tk.Name != "kws" {
+			t.Fatalf("most urgent is %s", tk.Name)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sc, err := Parse([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":100}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Horizon() != sim.Second {
+		t.Fatalf("default horizon %v", sc.Horizon())
+	}
+	_, plat, pol, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat.Name != "stm32h743" || pol.Name != "rt-mdm" {
+		t.Fatalf("defaults resolved %s/%s", plat.Name, pol.Name)
+	}
+}
+
+func TestPinnedPriorities(t *testing.T) {
+	sc, err := Parse([]byte(`{"tasks":[
+		{"name":"a","model":"lenet5","period_ms":100,"priority":1},
+		{"name":"b","model":"tinymlp","period_ms":50,"priority":0}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, _, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.ByPriority()[0].Name != "b" {
+		t.Fatal("pinned priorities not honored")
+	}
+}
+
+func TestMixedPinningRejected(t *testing.T) {
+	sc, err := Parse([]byte(`{"tasks":[
+		{"name":"a","model":"lenet5","period_ms":100,"priority":1},
+		{"name":"b","model":"tinymlp","period_ms":50}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sc.Build(); err == nil || !strings.Contains(err.Error(), "pin all or none") {
+		t.Fatalf("mixed pinning accepted: %v", err)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"tasks":[{"name":"a","model":"lenet5","period_ms":1}],"bogus":1}`,
+		"no tasks":      `{"tasks":[]}`,
+		"not json":      `hello`,
+	}
+	for what, in := range cases {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestBuildRejections(t *testing.T) {
+	cases := map[string]string{
+		"bad platform": `{"platform":"z80","tasks":[{"name":"a","model":"lenet5","period_ms":1}]}`,
+		"bad policy":   `{"policy":"fifo9000","tasks":[{"name":"a","model":"lenet5","period_ms":1}]}`,
+		"bad model":    `{"tasks":[{"name":"a","model":"gpt4","period_ms":1}]}`,
+		"zero period":  `{"tasks":[{"name":"a","model":"lenet5","period_ms":0}]}`,
+	}
+	for what, in := range cases {
+		sc, err := Parse([]byte(in))
+		if err != nil {
+			t.Fatalf("%s failed at parse: %v", what, err)
+		}
+		if _, _, _, err := sc.Build(); err == nil {
+			t.Errorf("%s accepted at build", what)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Tasks) != 3 {
+		t.Fatalf("loaded %d tasks", len(sc.Tasks))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestModelFileTasks(t *testing.T) {
+	dir := t.TempDir()
+	m, err := models.Build("lenet5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "lenet5.rtmdm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfgJSON := `{"tasks":[{"name":"a","model_file":"` + path + `","period_ms":100}]}`
+	sc, err := Parse([]byte(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _, _, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Tasks[0].Plan.Model.Name != "lenet5" {
+		t.Fatalf("loaded model %q", set.Tasks[0].Plan.Model.Name)
+	}
+
+	// Both model and model_file rejected.
+	both := `{"tasks":[{"name":"a","model":"lenet5","model_file":"` + path + `","period_ms":100}]}`
+	sc, err = Parse([]byte(both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sc.Build(); err == nil {
+		t.Fatal("model + model_file accepted")
+	}
+	// Neither rejected.
+	neither := `{"tasks":[{"name":"a","period_ms":100}]}`
+	sc, err = Parse([]byte(neither))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sc.Build(); err == nil {
+		t.Fatal("task without model accepted")
+	}
+	// Missing file rejected.
+	missing := `{"tasks":[{"name":"a","model_file":"` + filepath.Join(dir, "nope.bin") + `","period_ms":100}]}`
+	sc, err = Parse([]byte(missing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sc.Build(); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+}
+
+func TestParseTaskList(t *testing.T) {
+	specs, err := ParseTaskList("ds-cnn:50, lenet5:100:80", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[0].Name != "t0-ds-cnn" || specs[0].PeriodMs != 50 || specs[0].DeadlineMs != 50 {
+		t.Fatalf("spec0 %+v", specs[0])
+	}
+	if specs[1].DeadlineMs != 80 || specs[1].Seed != 3 {
+		t.Fatalf("spec1 %+v", specs[1])
+	}
+	sc := &Scenario{Tasks: specs}
+	if _, _, _, err := sc.Build(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "nope", "m:0", "m:10:0", "m:x", "m:10:20:30"} {
+		if _, err := ParseTaskList(bad, 1); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel operates in virtual time, expressed in nanoseconds since the
+// start of the simulation. Events scheduled for the same instant fire in the
+// order they were scheduled (FIFO tie-breaking by sequence number), which
+// makes every run bit-for-bit reproducible regardless of host load or Go
+// runtime behaviour — the property that lets a garbage-collected language
+// model a hard-real-time MCU faithfully.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual-time instant in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common duration units, mirroring time.Duration but in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual instant.
+const MaxTime Time = math.MaxInt64
+
+// String formats a virtual time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. It is returned by Engine.Schedule so the
+// caller can cancel it before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	index     int // heap index, -1 once popped
+	cancelled bool
+	fn        func()
+}
+
+// Time reports the instant the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// for use; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	running bool
+	steps   uint64
+}
+
+// NewEngine returns an engine whose clock reads zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil func")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.steps++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or the clock would pass
+// horizon. Events at exactly horizon still fire. It returns the number of
+// events executed.
+func (e *Engine) Run(horizon Time) uint64 {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	var n uint64
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	if e.now < horizon && horizon < MaxTime {
+		e.now = horizon
+	}
+	return n
+}
+
+// RunAll executes events until none remain. Useful for simulations that
+// naturally quiesce. Panics if more than limit events execute, guarding
+// against accidental event storms; pass 0 for the default of 1e9.
+func (e *Engine) RunAll(limit uint64) uint64 {
+	if limit == 0 {
+		limit = 1_000_000_000
+	}
+	var n uint64
+	for e.Step() {
+		n++
+		if n > limit {
+			panic("sim: RunAll exceeded event limit")
+		}
+	}
+	return n
+}

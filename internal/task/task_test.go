@@ -1,0 +1,190 @@
+package task
+
+import (
+	"testing"
+
+	"rtmdm/internal/cost"
+	"rtmdm/internal/models"
+	"rtmdm/internal/segment"
+	"rtmdm/internal/sim"
+)
+
+func mkTask(t *testing.T, name, model string, period sim.Duration, prio int) *Task {
+	t.Helper()
+	m, err := models.Build(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := segment.Build(m, cost.STM32H743, 64<<10, segment.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Task{Name: name, Plan: pl, Period: period, Deadline: period, Priority: prio}
+}
+
+func TestTaskValidate(t *testing.T) {
+	tk := mkTask(t, "a", "ds-cnn", 100*sim.Millisecond, 0)
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *tk
+	bad.Period = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = *tk
+	bad.Deadline = tk.Period + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("deadline > period accepted (constrained model)")
+	}
+	bad = *tk
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = *tk
+	bad.Offset = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	bad = *tk
+	bad.Plan = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestWCETRelations(t *testing.T) {
+	tk := mkTask(t, "a", "mobilenetv1-0.25", 100*sim.Millisecond, 0)
+	serial := tk.SerialWCET()
+	pipe := tk.PipelineWCET(2)
+	if pipe > serial {
+		t.Fatalf("pipelined WCET %v > serial %v", pipe, serial)
+	}
+	if pipe < sim.Duration(tk.ComputeNs()) || pipe < sim.Duration(tk.LoadNs()) {
+		t.Fatal("pipelined WCET below a single resource's demand")
+	}
+	if serial != sim.Duration(tk.ComputeNs()+tk.LoadNs()) {
+		t.Fatal("serial WCET != compute + load")
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	tk := mkTask(t, "a", "ds-cnn", 100*sim.Millisecond, 0)
+	uc, ud, us := tk.CPUUtilization(), tk.DMAUtilization(), tk.SerialUtilization()
+	if uc <= 0 || ud <= 0 {
+		t.Fatal("utilizations must be positive")
+	}
+	if diff := us - (uc + ud); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("serial util %v != cpu %v + dma %v", us, uc, ud)
+	}
+}
+
+func TestSetValidateRejectsDuplicates(t *testing.T) {
+	a := mkTask(t, "a", "ds-cnn", 100*sim.Millisecond, 0)
+	b := mkTask(t, "b", "lenet5", 200*sim.Millisecond, 1)
+	s := NewSet(a, b)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := NewSet(a, mkTask(t, "a", "lenet5", 50*sim.Millisecond, 1))
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	samePrio := NewSet(a, mkTask(t, "c", "lenet5", 50*sim.Millisecond, 0))
+	if err := samePrio.Validate(); err == nil {
+		t.Fatal("duplicate priority accepted")
+	}
+	if err := NewSet().Validate(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestByPriorityOrdersAscending(t *testing.T) {
+	a := mkTask(t, "a", "ds-cnn", 100*sim.Millisecond, 2)
+	b := mkTask(t, "b", "lenet5", 200*sim.Millisecond, 0)
+	c := mkTask(t, "c", "tinymlp", 300*sim.Millisecond, 1)
+	s := NewSet(a, b, c)
+	got := s.ByPriority()
+	if got[0] != b || got[1] != c || got[2] != a {
+		t.Fatal("ByPriority wrong order")
+	}
+	// Receiver untouched.
+	if s.Tasks[0] != a {
+		t.Fatal("ByPriority mutated the set")
+	}
+}
+
+func TestAssignRMAndDM(t *testing.T) {
+	a := mkTask(t, "a", "ds-cnn", 300*sim.Millisecond, 0)
+	b := mkTask(t, "b", "lenet5", 100*sim.Millisecond, 0)
+	c := mkTask(t, "c", "tinymlp", 200*sim.Millisecond, 0)
+	s := NewSet(a, b, c)
+	s.AssignRM()
+	if b.Priority != 0 || c.Priority != 1 || a.Priority != 2 {
+		t.Fatalf("RM priorities: a=%d b=%d c=%d", a.Priority, b.Priority, c.Priority)
+	}
+	// DM with deadlines shorter than periods.
+	a.Deadline = 50 * sim.Millisecond
+	s.AssignDM()
+	if a.Priority != 0 {
+		t.Fatalf("DM should make a most urgent, got %d", a.Priority)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignRMTiesBreakByName(t *testing.T) {
+	a := mkTask(t, "zz", "ds-cnn", 100*sim.Millisecond, 0)
+	b := mkTask(t, "aa", "lenet5", 100*sim.Millisecond, 0)
+	s := NewSet(a, b)
+	s.AssignRM()
+	if b.Priority != 0 || a.Priority != 1 {
+		t.Fatal("RM tie not broken by name")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	a := mkTask(t, "a", "ds-cnn", 20*sim.Millisecond, 0)
+	b := mkTask(t, "b", "lenet5", 30*sim.Millisecond, 1)
+	s := NewSet(a, b)
+	if h := s.Hyperperiod(sim.Second); h != 60*sim.Millisecond {
+		t.Fatalf("hyperperiod = %v, want 60ms", h)
+	}
+	// Cap applies.
+	if h := s.Hyperperiod(50 * sim.Millisecond); h != 50*sim.Millisecond {
+		t.Fatalf("capped hyperperiod = %v, want 50ms", h)
+	}
+	// Offsets extend the horizon.
+	b.Offset = 5 * sim.Millisecond
+	if h := s.Hyperperiod(sim.Second); h != 65*sim.Millisecond {
+		t.Fatalf("hyperperiod with offset = %v, want 65ms", h)
+	}
+}
+
+func TestHyperperiodOverflowReturnsCap(t *testing.T) {
+	// Mutually prime giant periods force the cap path.
+	a := mkTask(t, "a", "ds-cnn", 999999937, 0)  // prime ns
+	b := mkTask(t, "b", "lenet5", 999999893, 1)  // prime ns
+	c := mkTask(t, "c", "tinymlp", 999999797, 2) // prime ns
+	s := NewSet(a, b, c)
+	if h := s.Hyperperiod(10 * sim.Second); h != 10*sim.Second {
+		t.Fatalf("overflow hyperperiod = %v, want cap", h)
+	}
+}
+
+func TestSetUtilizationSums(t *testing.T) {
+	a := mkTask(t, "a", "ds-cnn", 100*sim.Millisecond, 0)
+	b := mkTask(t, "b", "lenet5", 200*sim.Millisecond, 1)
+	s := NewSet(a, b)
+	if got, want := s.CPUUtilization(), a.CPUUtilization()+b.CPUUtilization(); got != want {
+		t.Fatalf("CPU util %v != %v", got, want)
+	}
+	if got, want := s.DMAUtilization(), a.DMAUtilization()+b.DMAUtilization(); got != want {
+		t.Fatalf("DMA util %v != %v", got, want)
+	}
+	if got, want := s.SerialUtilization(), a.SerialUtilization()+b.SerialUtilization(); got != want {
+		t.Fatalf("serial util %v != %v", got, want)
+	}
+}

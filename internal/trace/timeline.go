@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rtmdm/internal/sim"
+)
+
+// Timeline renders a trace window as an ASCII Gantt chart: one lane for the
+// CPU (uppercase letters = which task computes), one for the DMA (lowercase
+// = which task's parameters transfer), and one lane per task showing job
+// lifecycles (R release, = pending, D done, X deadline miss).
+type Timeline struct {
+	From, To sim.Time
+	// Width is the number of character columns (default 100).
+	Width int
+}
+
+// Render writes the chart. Tasks are assigned letters A, B, … in the order
+// of the supplied infos.
+func (tl Timeline) Render(w io.Writer, tr *Trace, infos []TaskInfo) error {
+	if tl.To <= tl.From {
+		return fmt.Errorf("trace: empty timeline window [%v, %v)", tl.From, tl.To)
+	}
+	width := tl.Width
+	if width <= 0 {
+		width = 100
+	}
+	span := tl.To - tl.From
+	col := func(at sim.Time) int {
+		c := int(int64(at-tl.From) * int64(width) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	letter := map[string]byte{}
+	names := make([]string, len(infos))
+	for i, ti := range infos {
+		names[i] = ti.Name
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		letter[n] = byte('A' + i%26)
+	}
+
+	blank := func() []byte {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		return row
+	}
+	cpu, dma := blank(), blank()
+	taskRows := map[string][]byte{}
+	for _, n := range names {
+		taskRows[n] = blank()
+	}
+	fill := func(row []byte, from, to sim.Time, ch byte) {
+		if to < tl.From || from > tl.To {
+			return
+		}
+		a, b := col(from), col(to)
+		for i := a; i <= b; i++ {
+			row[i] = ch
+		}
+	}
+
+	type open struct {
+		at  sim.Time
+		seg int
+	}
+	cpuOpen := map[string]open{}
+	dmaOpen := map[string]open{}
+	released := map[string]map[int]sim.Time{}
+	for _, e := range tr.Events {
+		l, known := letter[e.Task]
+		if !known {
+			continue
+		}
+		switch e.Kind {
+		case ComputeStart:
+			cpuOpen[e.Task] = open{e.At, e.Segment}
+		case ComputeEnd:
+			if o, ok := cpuOpen[e.Task]; ok {
+				fill(cpu, o.at, e.At, l)
+				delete(cpuOpen, e.Task)
+			}
+		case LoadStart:
+			if e.Bytes > 0 {
+				dmaOpen[e.Task] = open{e.At, e.Segment}
+			}
+		case LoadEnd:
+			if o, ok := dmaOpen[e.Task]; ok {
+				fill(dma, o.at, e.At, l+('a'-'A'))
+				delete(dmaOpen, e.Task)
+			}
+		case Release:
+			if released[e.Task] == nil {
+				released[e.Task] = map[int]sim.Time{}
+			}
+			released[e.Task][e.Job] = e.At
+		case JobDone:
+			if rel, ok := released[e.Task][e.Job]; ok {
+				fill(taskRows[e.Task], rel, e.At, '=')
+				if c := col(rel); rel >= tl.From && rel <= tl.To {
+					taskRows[e.Task][c] = 'R'
+				}
+				if e.At >= tl.From && e.At <= tl.To {
+					taskRows[e.Task][col(e.At)] = 'D'
+				}
+			}
+		case DeadlineMiss:
+			if e.At >= tl.From && e.At <= tl.To {
+				taskRows[e.Task][col(e.At)] = 'X'
+			}
+		}
+	}
+	// Still-open intervals extend to the window end.
+	for tk, o := range cpuOpen {
+		fill(cpu, o.at, tl.To, letter[tk])
+	}
+	for tk, o := range dmaOpen {
+		fill(dma, o.at, tl.To, letter[tk]+('a'-'A'))
+	}
+	// Pending (released, not done) jobs.
+	for tk, jobs := range released {
+		row := taskRows[tk]
+		for _, rel := range jobs {
+			if row[col(rel)] == '.' {
+				fill(row, rel, tl.To, '=')
+				if rel >= tl.From && rel <= tl.To {
+					row[col(rel)] = 'R'
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "timeline %v .. %v (%v/col)\n", tl.From, tl.To, sim.Duration(int64(span)/int64(width)))
+	nameW := 4
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %s\n", nameW, "CPU", cpu)
+	fmt.Fprintf(w, "%-*s %s\n", nameW, "DMA", dma)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-*s %s\n", nameW, n, taskRows[n])
+	}
+	fmt.Fprintf(w, "%-*s ", nameW, "key")
+	for _, n := range names {
+		fmt.Fprintf(w, "%c=%s ", letter[n], n)
+	}
+	fmt.Fprintln(w, "(uppercase compute, lowercase load; R release, D done, X miss)")
+	return nil
+}

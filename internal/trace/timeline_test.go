@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderGood(t *testing.T, tl Timeline) string {
+	t.Helper()
+	tr := goodTrace()
+	var sb strings.Builder
+	if err := tl.Render(&sb, tr, []TaskInfo{ti("a", 100, 100, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestTimelineRenderBasics(t *testing.T) {
+	out := renderGood(t, Timeline{From: 0, To: 200, Width: 100})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header, CPU, DMA, one task lane, key.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	cpu := lines[1]
+	dma := lines[2]
+	lane := lines[3]
+	if !strings.Contains(cpu, "A") {
+		t.Fatalf("CPU lane has no compute marks: %q", cpu)
+	}
+	if !strings.Contains(dma, "a") {
+		t.Fatalf("DMA lane has no load marks: %q", dma)
+	}
+	for _, want := range []string{"R", "D", "="} {
+		if !strings.Contains(lane, want) {
+			t.Fatalf("task lane missing %q: %q", want, lane)
+		}
+	}
+	if !strings.Contains(lines[4], "A=a") {
+		t.Fatalf("key missing: %q", lines[4])
+	}
+}
+
+func TestTimelineColumnsAlign(t *testing.T) {
+	// Job 0 computes in [10,50] of a 0..200 window at width 100: compute
+	// marks must only appear in columns ~5..25 and ~55..80 (job 1).
+	out := renderGood(t, Timeline{From: 0, To: 200, Width: 100})
+	cpu := strings.Split(out, "\n")[1]
+	row := cpu[strings.LastIndex(cpu, " ")+1:]
+	first := strings.IndexByte(row, 'A')
+	last := strings.LastIndexByte(row, 'A')
+	if first < 4 || first > 7 {
+		t.Fatalf("first compute column %d, want ≈ 5", first)
+	}
+	if last < 78 || last > 82 {
+		t.Fatalf("last compute column %d, want ≈ 80", last)
+	}
+}
+
+func TestTimelineWindowClipsEvents(t *testing.T) {
+	// A window covering only job 1 must not show job 0's marks.
+	out := renderGood(t, Timeline{From: 100, To: 200, Width: 50})
+	lane := strings.Split(out, "\n")[3]
+	if strings.Count(lane, "R") != 1 {
+		t.Fatalf("clipped window shows wrong release count: %q", lane)
+	}
+}
+
+func TestTimelineMissMarker(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{At: 0, Kind: Release, Task: "a", Job: 0, Segment: -1})
+	tr.Add(Event{At: 50, Kind: DeadlineMiss, Task: "a", Job: 0, Segment: -1})
+	var sb strings.Builder
+	err := (Timeline{From: 0, To: 100, Width: 20}).Render(&sb, tr, []TaskInfo{ti("a", 100, 50, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "X") {
+		t.Fatalf("miss marker absent:\n%s", sb.String())
+	}
+	// Pending job shows as R followed by '=' fill.
+	if !strings.Contains(sb.String(), "R=") {
+		t.Fatalf("pending fill absent:\n%s", sb.String())
+	}
+}
+
+func TestTimelineRejectsEmptyWindow(t *testing.T) {
+	tr := goodTrace()
+	var sb strings.Builder
+	if err := (Timeline{From: 10, To: 10}).Render(&sb, tr, nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestTimelineDefaultWidth(t *testing.T) {
+	out := renderGood(t, Timeline{From: 0, To: 200})
+	cpu := strings.Split(out, "\n")[1]
+	row := cpu[strings.LastIndex(cpu, " ")+1:]
+	if len(row) != 100 {
+		t.Fatalf("default width = %d, want 100", len(row))
+	}
+}

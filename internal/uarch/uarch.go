@@ -1,0 +1,144 @@
+// Package uarch models the micro-architectural memory behaviour of a
+// Cortex-M-class core executing NN kernels: a single-level data cache over
+// the SRAM holding staged weights and activations. The model refines the
+// flat MACs/cycle cost estimate with per-layer miss stalls, capturing the
+// well-known effect that weight-streaming layers (fully-connected) run
+// memory-bound while convolutions with cache-resident working sets run
+// compute-bound.
+//
+// The model is deliberately simple and fully documented: each kernel is a
+// set of *regions* traversed a known number of times; a region whose bytes
+// fit the cache misses only on its cold pass, otherwise every pass misses.
+// This streaming approximation ignores inter-region conflict misses and
+// partial reuse, which is the right fidelity for a scheduling study —
+// costs stay deterministic, monotone in cache size, and explainable.
+package uarch
+
+import "fmt"
+
+// Cache is a single-level data cache.
+type Cache struct {
+	// SizeBytes is the cache capacity. 0 disables the model (e.g. an M4
+	// running from zero-wait-state SRAM).
+	SizeBytes int64
+	// LineBytes is the fill granularity (default 32).
+	LineBytes int64
+	// MissPenaltyCycles is the stall per line fill from backing SRAM.
+	MissPenaltyCycles int64
+}
+
+// Validate reports configuration errors.
+func (c Cache) Validate() error {
+	if c.SizeBytes < 0 || c.LineBytes < 0 || c.MissPenaltyCycles < 0 {
+		return fmt.Errorf("uarch: negative cache parameter: %+v", c)
+	}
+	if c.SizeBytes > 0 && c.LineBytes == 0 {
+		return fmt.Errorf("uarch: cache without line size")
+	}
+	return nil
+}
+
+// Enabled reports whether the cache model applies.
+func (c Cache) Enabled() bool { return c.SizeBytes > 0 }
+
+// Region is one data structure a kernel traverses.
+type Region struct {
+	// Bytes is the region footprint.
+	Bytes int64
+	// Passes is how many times the kernel traverses the whole region.
+	Passes int64
+}
+
+// MissCycles returns the stall cycles of traversing the regions: every
+// region pays cold misses once; regions larger than the cache also miss on
+// every additional pass.
+func (c Cache) MissCycles(regions []Region) int64 {
+	if !c.Enabled() {
+		return 0
+	}
+	var cycles int64
+	for _, r := range regions {
+		if r.Bytes <= 0 || r.Passes <= 0 {
+			continue
+		}
+		lines := (r.Bytes + c.LineBytes - 1) / c.LineBytes
+		passes := int64(1) // cold pass always misses
+		if r.Bytes > c.SizeBytes {
+			passes = r.Passes // no residency: every pass misses
+		}
+		cycles += lines * passes * c.MissPenaltyCycles
+	}
+	return cycles
+}
+
+// LayerShape is the geometry the kernel-to-region mapping needs; the cost
+// package fills it from an nn.Layer.
+type LayerShape struct {
+	Kind       Kind
+	ParamBytes int64
+	InBytes    int64
+	OutBytes   int64
+	// SpatialOut is OutH·OutW (weight re-traversals of conv kernels).
+	SpatialOut int64
+	// OutC is the output channel / neuron count (input re-traversals).
+	OutC int64
+}
+
+// Kind mirrors the operator classes the mapping distinguishes.
+type Kind int
+
+const (
+	// KindConv is a standard convolution: weights re-traversed per output
+	// position, input per output channel.
+	KindConv Kind = iota
+	// KindDWConv is a depthwise convolution: single input pass, weights
+	// re-traversed per position.
+	KindDWConv
+	// KindDense is a fully-connected layer: weights streamed exactly once
+	// (no reuse — the memory-bound case), input re-read per neuron.
+	KindDense
+	// KindElementwise covers pools, activations, adds: single pass over
+	// input and output.
+	KindElementwise
+)
+
+// Regions maps a layer onto its traversal pattern.
+func Regions(l LayerShape) []Region {
+	switch l.Kind {
+	case KindConv:
+		return []Region{
+			{Bytes: l.ParamBytes, Passes: max1(l.SpatialOut)},
+			{Bytes: l.InBytes, Passes: max1(l.OutC)},
+			{Bytes: l.OutBytes, Passes: 1},
+		}
+	case KindDWConv:
+		return []Region{
+			{Bytes: l.ParamBytes, Passes: max1(l.SpatialOut)},
+			{Bytes: l.InBytes, Passes: 1},
+			{Bytes: l.OutBytes, Passes: 1},
+		}
+	case KindDense:
+		return []Region{
+			{Bytes: l.ParamBytes, Passes: 1}, // streamed once, never reused
+			{Bytes: l.InBytes, Passes: max1(l.OutC)},
+			{Bytes: l.OutBytes, Passes: 1},
+		}
+	default:
+		return []Region{
+			{Bytes: l.InBytes, Passes: 1},
+			{Bytes: l.OutBytes, Passes: 1},
+		}
+	}
+}
+
+// LayerMissCycles is the convenience composition of Regions and MissCycles.
+func (c Cache) LayerMissCycles(l LayerShape) int64 {
+	return c.MissCycles(Regions(l))
+}
+
+func max1(v int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

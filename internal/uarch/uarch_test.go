@@ -1,0 +1,113 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cache() Cache { return Cache{SizeBytes: 16 << 10, LineBytes: 32, MissPenaltyCycles: 10} }
+
+func TestDisabledCacheCostsNothing(t *testing.T) {
+	c := Cache{}
+	if c.Enabled() {
+		t.Fatal("zero cache enabled")
+	}
+	if got := c.MissCycles([]Region{{Bytes: 1 << 20, Passes: 100}}); got != 0 {
+		t.Fatalf("disabled cache cost %d", got)
+	}
+}
+
+func TestColdMissesOnlyWhenResident(t *testing.T) {
+	c := cache()
+	// 8 KiB region, 100 passes: fits in 16 KiB → cold misses only.
+	got := c.MissCycles([]Region{{Bytes: 8 << 10, Passes: 100}})
+	want := int64((8<<10)/32) * 10
+	if got != want {
+		t.Fatalf("resident region cost %d, want %d", got, want)
+	}
+}
+
+func TestThrashingRegionMissesEveryPass(t *testing.T) {
+	c := cache()
+	// 32 KiB region, 4 passes: exceeds cache → all passes miss.
+	got := c.MissCycles([]Region{{Bytes: 32 << 10, Passes: 4}})
+	want := int64((32<<10)/32) * 4 * 10
+	if got != want {
+		t.Fatalf("thrashing cost %d, want %d", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cache().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Cache{SizeBytes: 1024}).Validate(); err == nil {
+		t.Fatal("cache without line size accepted")
+	}
+	if err := (Cache{SizeBytes: -1}).Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if err := (Cache{}).Validate(); err != nil {
+		t.Fatalf("disabled cache invalid: %v", err)
+	}
+}
+
+func TestDenseIsWeightStreaming(t *testing.T) {
+	// A dense layer's weights are traversed once regardless of neuron
+	// count: miss cost must not scale with OutC for the weight region.
+	c := cache()
+	small := c.LayerMissCycles(LayerShape{Kind: KindDense, ParamBytes: 64 << 10, InBytes: 256, OutBytes: 64, OutC: 1})
+	big := c.LayerMissCycles(LayerShape{Kind: KindDense, ParamBytes: 64 << 10, InBytes: 256, OutBytes: 64, OutC: 1000})
+	if big != small {
+		t.Fatalf("dense weight misses scaled with neurons: %d vs %d (input is resident)", big, small)
+	}
+}
+
+func TestConvWeightsThrashOnlyWhenOversized(t *testing.T) {
+	c := cache()
+	fit := c.LayerMissCycles(LayerShape{Kind: KindConv, ParamBytes: 8 << 10, InBytes: 1024, OutBytes: 1024, SpatialOut: 100, OutC: 8})
+	thrash := c.LayerMissCycles(LayerShape{Kind: KindConv, ParamBytes: 64 << 10, InBytes: 1024, OutBytes: 1024, SpatialOut: 100, OutC: 8})
+	if thrash <= fit {
+		t.Fatal("oversized conv weights did not thrash")
+	}
+	// The thrash cost scales with the spatial re-traversals.
+	moreSpatial := c.LayerMissCycles(LayerShape{Kind: KindConv, ParamBytes: 64 << 10, InBytes: 1024, OutBytes: 1024, SpatialOut: 200, OutC: 8})
+	if moreSpatial <= thrash {
+		t.Fatal("thrash cost did not scale with passes")
+	}
+}
+
+func TestElementwiseSinglePass(t *testing.T) {
+	c := cache()
+	got := c.LayerMissCycles(LayerShape{Kind: KindElementwise, InBytes: 64 << 10, OutBytes: 64 << 10})
+	want := 2 * int64((64<<10)/32) * 10 // cold misses only, even though oversized (1 pass)
+	if got != want {
+		t.Fatalf("elementwise cost %d, want %d", got, want)
+	}
+}
+
+// Properties: miss cycles are monotone — larger cache never costs more;
+// higher penalty, more bytes, more passes never cost less.
+func TestPropertyCacheMonotone(t *testing.T) {
+	f := func(bytesRaw, passesRaw uint16, size1Raw, size2Raw uint16) bool {
+		r := []Region{{Bytes: int64(bytesRaw) + 1, Passes: int64(passesRaw%50) + 1}}
+		s1 := int64(size1Raw)*8 + 64
+		s2 := int64(size2Raw)*8 + 64
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		c1 := Cache{SizeBytes: s1, LineBytes: 32, MissPenaltyCycles: 10}
+		c2 := Cache{SizeBytes: s2, LineBytes: 32, MissPenaltyCycles: 10}
+		return c1.MissCycles(r) >= c2.MissCycles(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroOrNegativeRegionsIgnored(t *testing.T) {
+	c := cache()
+	if got := c.MissCycles([]Region{{Bytes: 0, Passes: 5}, {Bytes: -3, Passes: 1}, {Bytes: 100, Passes: 0}}); got != 0 {
+		t.Fatalf("degenerate regions cost %d", got)
+	}
+}

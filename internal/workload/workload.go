@@ -1,0 +1,283 @@
+// Package workload generates randomized multi-DNN task sets for the
+// evaluation: UUniFast utilization splits over zoo models, periods derived
+// from a policy-independent reference demand, and per-policy instantiation
+// (each policy re-segments the same spec with its own staging budget).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"rtmdm/internal/core"
+	"rtmdm/internal/cost"
+	"rtmdm/internal/models"
+	"rtmdm/internal/nn"
+	"rtmdm/internal/segment"
+	"rtmdm/internal/sim"
+	"rtmdm/internal/task"
+)
+
+// UUniFast draws n utilization shares summing to total, uniformly over the
+// valid simplex (Bini & Buttazzo).
+func UUniFast(rng *rand.Rand, n int, total float64) []float64 {
+	u := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1.0/float64(n-1-i))
+		u[i] = sum - next
+		sum = next
+	}
+	u[n-1] = sum
+	return u
+}
+
+// TaskSpec is the policy-independent description of one task.
+type TaskSpec struct {
+	Model    string
+	Seed     int64
+	Period   sim.Duration
+	Deadline sim.Duration
+	Jitter   sim.Duration
+}
+
+// SetSpec is a policy-independent task-set description. Each scheduling
+// policy instantiates it with its own segmentation budget, so cross-policy
+// comparisons hold models and periods fixed.
+type SetSpec struct {
+	Tasks []TaskSpec
+	// Util is the reference (serial) utilization the spec was generated
+	// for.
+	Util float64
+}
+
+// Params configures task-set generation.
+type Params struct {
+	Seed int64
+	// N is the number of tasks.
+	N int
+	// Util is the target reference utilization (serial demand / period,
+	// summed over tasks).
+	Util float64
+	// Platform fixes the reference demand used to derive periods.
+	Platform cost.Platform
+	// Models restricts the zoo subset (nil = whole catalog).
+	Models []string
+	// MinPeriod and MaxPeriod clamp derived periods (0 = no clamp).
+	MinPeriod, MaxPeriod sim.Duration
+	// DeadlineFrac scales deadlines relative to periods (0 → 1.0,
+	// i.e. implicit deadlines).
+	DeadlineFrac float64
+	// JitterFrac sets each task's maximum release jitter as a fraction of
+	// its period (0 = strictly periodic).
+	JitterFrac float64
+}
+
+// modelCache avoids rebuilding identical zoo models across thousands of
+// generated sets. Models are immutable once built; the mutex makes the
+// cache safe for the parallel experiment harness.
+var (
+	modelCacheMu sync.Mutex
+	modelCache   = map[string]*nn.Model{}
+)
+
+func cachedModel(name string, seed int64) (*nn.Model, error) {
+	key := fmt.Sprintf("%s/%d", name, seed)
+	modelCacheMu.Lock()
+	m, ok := modelCache[key]
+	modelCacheMu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := models.Build(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	modelCacheMu.Lock()
+	modelCache[key] = m
+	modelCacheMu.Unlock()
+	return m, nil
+}
+
+// refBudget is the policy-independent staging budget used to compute the
+// reference demand a spec's periods are derived from: the platform weight
+// buffer split across n double-buffered tasks.
+func refBudget(plat cost.Platform, n int) int64 {
+	b := plat.WeightBufBytes / int64(2*n)
+	if b < 4<<10 {
+		b = 4 << 10
+	}
+	return b
+}
+
+// refDemand returns the serial (load+compute) nanoseconds of one job of
+// the model at the reference segmentation.
+func refDemand(name string, seed int64, plat cost.Platform, n int) (int64, error) {
+	m, err := cachedModel(name, seed)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := segment.Build(m, plat, refBudget(plat, n), segment.Greedy)
+	if err != nil {
+		return 0, err
+	}
+	return pl.SerialNs(), nil
+}
+
+// Generate draws a SetSpec: models uniformly from the catalog subset,
+// utilization shares by UUniFast, periods = refDemand/share (clamped).
+func Generate(p Params) (SetSpec, error) {
+	if p.N < 1 {
+		return SetSpec{}, fmt.Errorf("workload: N = %d", p.N)
+	}
+	if p.Util <= 0 {
+		return SetSpec{}, fmt.Errorf("workload: utilization %f", p.Util)
+	}
+	if err := p.Platform.Validate(); err != nil {
+		return SetSpec{}, err
+	}
+	names := p.Models
+	if len(names) == 0 {
+		names = models.Names()
+	}
+	if p.DeadlineFrac == 0 {
+		p.DeadlineFrac = 1.0
+	}
+	if p.DeadlineFrac < 0 || p.DeadlineFrac > 1 {
+		return SetSpec{}, fmt.Errorf("workload: deadline fraction %f", p.DeadlineFrac)
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		return SetSpec{}, fmt.Errorf("workload: jitter fraction %f", p.JitterFrac)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	shares := UUniFast(rng, p.N, p.Util)
+	// Draw a model mix that is *deployable*: a segment-preemptive policy
+	// must be able to park every preempted job's boundary activations in
+	// the non-staging SRAM alongside the running job's working set. The
+	// paper's workloads run on real boards, so feasibility is a
+	// precondition of generation, not a scheduling outcome.
+	actSRAM := p.Platform.SRAMBytes - p.Platform.WeightBufBytes
+	var picks []string
+	for try := 0; ; try++ {
+		picks = picks[:0]
+		var resident, peak int64
+		for i := 0; i < p.N; i++ {
+			name := names[rng.Intn(len(names))]
+			picks = append(picks, name)
+			r, pk, err := actFootprint(name, p.Platform, p.N)
+			if err != nil {
+				return SetSpec{}, err
+			}
+			resident += r
+			if pk > peak {
+				peak = pk
+			}
+		}
+		if resident+peak <= actSRAM {
+			break
+		}
+		if try >= 200 {
+			return SetSpec{}, fmt.Errorf(
+				"workload: no activation-feasible %d-task mix fits %d B on %s",
+				p.N, actSRAM, p.Platform.Name)
+		}
+	}
+	spec := SetSpec{Util: p.Util}
+	for i := 0; i < p.N; i++ {
+		name := picks[i]
+		seed := int64(rng.Intn(1 << 16))
+		demand, err := refDemand(name, seed, p.Platform, p.N)
+		if err != nil {
+			return SetSpec{}, err
+		}
+		period := sim.Duration(float64(demand) / shares[i])
+		if p.MinPeriod > 0 && period < p.MinPeriod {
+			period = p.MinPeriod
+		}
+		if p.MaxPeriod > 0 && period > p.MaxPeriod {
+			period = p.MaxPeriod
+		}
+		deadline := sim.Duration(float64(period) * p.DeadlineFrac)
+		if deadline < 1 {
+			deadline = 1
+		}
+		spec.Tasks = append(spec.Tasks, TaskSpec{
+			Model: name, Seed: seed, Period: period, Deadline: deadline,
+			Jitter: sim.Duration(float64(period) * p.JitterFrac),
+		})
+	}
+	return spec, nil
+}
+
+// actFootprint returns (max resident boundary bytes, peak working set) of a
+// model at the reference segmentation, cached per (model, platform, n).
+func actFootprint(name string, plat cost.Platform, n int) (int64, int64, error) {
+	key := fmt.Sprintf("act/%s/%s/%d", name, plat.Name, n)
+	footprintMu.Lock()
+	v, ok := footprintCache[key]
+	footprintMu.Unlock()
+	if ok {
+		return v[0], v[1], nil
+	}
+	m, err := cachedModel(name, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	pl, err := segment.BuildLimits(m, plat,
+		segment.Limits{Bytes: refBudget(plat, n), ComputeNs: core.DefaultGranularityNs / 2},
+		segment.Greedy)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, pk := pl.MaxResidentBytes(), m.PeakActivationBytes()
+	footprintMu.Lock()
+	footprintCache[key] = [2]int64{r, pk}
+	footprintMu.Unlock()
+	return r, pk, nil
+}
+
+var (
+	footprintMu    sync.Mutex
+	footprintCache = map[string][2]int64{}
+)
+
+// Instantiate builds the runnable task set for one policy: every model is
+// segmented with the policy's staging budget and preemption granularity,
+// and priorities are assigned rate-monotonically.
+func (sp SetSpec) Instantiate(plat cost.Platform, pol core.Policy) (*task.Set, error) {
+	return sp.InstantiateLimits(plat, pol.Limits(plat, len(sp.Tasks)))
+}
+
+// InstantiateLimits is Instantiate with explicit segmentation limits (used
+// by the SRAM-sweep experiment).
+func (sp SetSpec) InstantiateLimits(plat cost.Platform, lim segment.Limits) (*task.Set, error) {
+	if len(sp.Tasks) == 0 {
+		return nil, fmt.Errorf("workload: empty spec")
+	}
+	var ts []*task.Task
+	for i, tsp := range sp.Tasks {
+		m, err := cachedModel(tsp.Model, tsp.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, &task.Task{
+			Name:     fmt.Sprintf("t%d-%s", i, tsp.Model),
+			Plan:     pl,
+			Period:   tsp.Period,
+			Deadline: tsp.Deadline,
+			Jitter:   tsp.Jitter,
+			Priority: i,
+		})
+	}
+	s := task.NewSet(ts...)
+	s.AssignRM()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

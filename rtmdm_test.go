@@ -1,0 +1,262 @@
+package rtmdm
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSystemBuildAnalyzeSimulate(t *testing.T) {
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	set, err := NewSystem(plat, pol).
+		AddTask("kws", "ds-cnn", 50*Millisecond).
+		AddTask("det", "mobilenetv1-0.25", 150*Millisecond).
+		AddTask("anomaly", "autoencoder", 100*Millisecond).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Tasks) != 3 {
+		t.Fatalf("built %d tasks", len(set.Tasks))
+	}
+
+	v, err := Analyze(set, plat, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Schedulable {
+		t.Fatalf("case-study set not schedulable: %s", v.Reason)
+	}
+
+	r, err := Simulate(set, plat, pol, 600*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.AnyMiss() {
+		t.Fatal("simulation missed a deadline despite positive verdict")
+	}
+	for name, tm := range r.Metrics.PerTask {
+		if bound, ok := v.WCRT[name]; ok && tm.MaxResponse > bound {
+			t.Fatalf("%s observed %v > bound %v", name, tm.MaxResponse, bound)
+		}
+	}
+}
+
+func TestSystemRejectsBadInputs(t *testing.T) {
+	plat := DefaultPlatform()
+	if _, err := NewSystem(plat, RTMDM()).Build(); err == nil {
+		t.Fatal("empty system built")
+	}
+	if _, err := NewSystem(plat, RTMDM()).
+		AddTask("x", "no-such-model", Second).Build(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := NewSystem(plat, RTMDM()).
+		AddTaskDeadline("x", "ds-cnn", 100*Millisecond, 200*Millisecond).Build(); err == nil {
+		t.Fatal("deadline > period accepted")
+	}
+}
+
+func TestAnalyzeFIFOPolicyIsPessimistic(t *testing.T) {
+	plat := DefaultPlatform()
+	mk := func(pol Policy) *TaskSet {
+		set, err := NewSystem(plat, pol).
+			AddTask("a", "ds-cnn", 100*Millisecond).
+			AddTask("b", "autoencoder", 200*Millisecond).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	vf, err := Analyze(mk(RTMDMFIFODMA()), plat, RTMDMFIFODMA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := Analyze(mk(RTMDM()), plat, RTMDM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf.WCRT["a"] < vg.WCRT["a"] {
+		t.Fatalf("FIFO bound %v < gated bound %v", vf.WCRT["a"], vg.WCRT["a"])
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(ModelNames()) != 8 {
+		t.Fatalf("zoo size %d", len(ModelNames()))
+	}
+	if len(Platforms()) != 3 {
+		t.Fatalf("platform presets %d", len(Platforms()))
+	}
+	if _, err := PlatformByName("stm32f746"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel("lenet5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalParamBytes() == 0 {
+		t.Fatal("model has no parameters")
+	}
+	if len(Experiments()) != 24 {
+		t.Fatalf("experiment registry has %d entries, want 24", len(Experiments()))
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	cfg.Sets = 4
+	tb, err := RunExperiment("T1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "mobilenetv1-0.25") {
+		t.Fatal("T1 table missing zoo entry")
+	}
+	if _, err := RunExperiment("Z9", cfg); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestGenerateWorkloadFacade(t *testing.T) {
+	spec, err := GenerateWorkload(WorkloadParams{
+		Seed: 5, N: 3, Util: 0.4, Platform: DefaultPlatform(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := spec.Instantiate(DefaultPlatform(), RTMDM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Tasks) != 3 {
+		t.Fatalf("instantiated %d tasks", len(set.Tasks))
+	}
+}
+
+func TestFacadeInferenceHelpers(t *testing.T) {
+	m, err := BuildModel("lenet5", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewInput(m)
+	if x.Shape != m.Input {
+		t.Fatalf("NewInput shape %v", x.Shape)
+	}
+	a := RandomInput(m, 9)
+	b := RandomInput(m, 9)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandomInput not deterministic")
+		}
+	}
+	c := RandomInput(m, 10)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical inputs")
+	}
+	if y := m.Forward(a); y.Shape != m.OutShape() {
+		t.Fatal("forward through facade tensors failed")
+	}
+}
+
+func TestFacadeSegmentModel(t *testing.T) {
+	m, err := BuildModel("autoencoder", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := SegmentModel(m, DefaultPlatform(), RTMDM(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumSegments() < 2 {
+		t.Fatalf("autoencoder segmented into %d", pl.NumSegments())
+	}
+}
+
+func TestFacadeTimelineAndScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.json"
+	cfg := `{"horizon_ms": 200, "tasks":[{"name":"a","model":"ds-cnn","period_ms":50}]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, plat, pol, horizon, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon != 200*Millisecond || len(set.Tasks) != 1 {
+		t.Fatalf("scenario horizon %v tasks %d", horizon, len(set.Tasks))
+	}
+	res, err := Simulate(set, plat, pol, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTimeline(&sb, res, 0, 100*Millisecond, 80); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CPU") || !strings.Contains(sb.String(), "key") {
+		t.Fatalf("timeline output:\n%s", sb.String())
+	}
+}
+
+func TestFacadeBreakdown(t *testing.T) {
+	plat := DefaultPlatform()
+	set, err := NewSystem(plat, RTMDM()).
+		AddTask("kws", "ds-cnn", 100*Millisecond).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := Breakdown(set, plat, RTMDM(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ds-cnn pipe ≈ 10 ms against a 100 ms period: α ≈ 9–10.
+	if alpha < 5 || alpha > 12 {
+		t.Fatalf("breakdown α = %v, want ≈ 9", alpha)
+	}
+}
+
+func TestFacadeExploreDesignSpace(t *testing.T) {
+	plat := DefaultPlatform()
+	spec, err := GenerateWorkload(WorkloadParams{
+		Seed: 5, N: 3, Util: 0.4, Platform: plat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knobs := DesignKnobs{
+		StagingBytes:  []int64{128 << 10, 192 << 10},
+		Depths:        []int{2},
+		GranularityNs: []int64{1_000_000},
+		ChunkBytes:    []int64{0},
+	}
+	res, err := ExploreDesignSpace(spec, plat, knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("grid size %d, want 2", len(res.Points))
+	}
+	if res.Schedulable() == 0 || len(res.Frontier) == 0 {
+		t.Fatalf("U=0.4 exploration found nothing schedulable: %+v", res.Points)
+	}
+	best, ok := res.Recommend(1.0)
+	if !ok || !best.Schedulable {
+		t.Fatalf("no recommendation: %+v ok=%v", best, ok)
+	}
+	if err := best.Policy().Validate(); err != nil {
+		t.Fatalf("recommended policy invalid: %v", err)
+	}
+	if k := DefaultDesignKnobs(plat); len(k.StagingBytes) == 0 {
+		t.Fatal("empty default knobs")
+	}
+}
