@@ -1,0 +1,28 @@
+# Verification tiers. Tier-1 is the gate every change must pass; the race
+# tier adds `go vet` and the race detector over the packages with nontrivial
+# concurrency (parallel sweeps, sync.Map caches, pooled engines).
+# See docs/PERFORMANCE.md §4 for the full performance-PR checklist.
+
+GO ?= go
+
+.PHONY: verify vet race bench golden
+
+# Tier-1: build + full test suite.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: vet plus the race detector on the concurrent packages.
+race: vet
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload
+
+# The load-bearing benchmarks (compare with benchstat; -count=5 minimum).
+bench:
+	$(GO) test -bench 'ExpF4|ExpF5|SimulateCaseStudy' -benchmem -count=5 -run '^$$' .
+
+# Byte-identity smoke: quick tables to stdout for diffing against a baseline.
+golden:
+	$(GO) run ./cmd/rtmdm-bench -all -quick -csv

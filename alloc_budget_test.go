@@ -1,0 +1,38 @@
+package rtmdm
+
+import "testing"
+
+// TestSimulateAllocBudget pins the steady-state allocation count of a full
+// case-study simulation so the slab-based event kernel cannot silently
+// regress back to per-event heap traffic. The budget has ~20% slack over
+// the measured steady state (≈13.6k allocs: jobs, trace events and metric
+// buckets — the simulation kernel itself is zero-alloc, see
+// internal/sim/slab_test.go). The pre-slab baseline was ≈19.2k allocs/op.
+func TestSimulateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is wall-time sensitive; skipped in -short")
+	}
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	set, err := NewSystem(plat, pol).
+		AddTask("kws", "ds-cnn", 50*Millisecond).
+		AddTask("det", "mobilenetv1-0.25", 150*Millisecond).
+		AddTask("anomaly", "autoencoder", 100*Millisecond).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the engine pool and the offline caches before measuring.
+	if _, err := Simulate(set, plat, pol, Second); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Simulate(set, plat, pol, Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 16500
+	if allocs > budget {
+		t.Fatalf("Simulate steady state: %.0f allocs/op, budget %d", allocs, budget)
+	}
+}

@@ -87,6 +87,7 @@ func BenchmarkExpF3BandwidthSweep(b *testing.B) {
 }
 
 func BenchmarkExpF4Schedulability(b *testing.B) {
+	b.ReportAllocs()
 	tb := runExperiment(b, "F4")
 	if v, ok := colMean(tb, len(tb.Columns)-1, "%"); ok {
 		b.ReportMetric(v, "rtmdm-mean-sched-%")
@@ -161,6 +162,7 @@ func BenchmarkSimulateCaseStudySecond(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Simulate(set, plat, pol, Second); err != nil {

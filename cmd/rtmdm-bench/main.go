@@ -10,16 +10,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"rtmdm/internal/cost"
 	"rtmdm/internal/expr"
 	"rtmdm/internal/plot"
 )
+
+// jsonRecord is one -json line: enough to track performance regressions
+// (wall time, allocation churn) and the domain result (the rendered table)
+// without parsing aligned text.
+type jsonRecord struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	WallMs     float64    `json:"wall_ms"`
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+	Rows       int        `json:"rows"`
+	Columns    []string   `json:"columns"`
+	Table      [][]string `json:"table"`
+	Notes      string     `json:"notes,omitempty"`
+}
 
 func main() {
 	var (
@@ -31,6 +48,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed (0 = config default)")
 		quick    = flag.Bool("quick", false, "use the quick (smoke) configuration")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per experiment (wall time, allocs, table)")
 		outDir   = flag.String("outdir", "", "also write each experiment as <ID>.csv into this directory")
 		svgDir   = flag.String("svgdir", "", "also render sweep experiments as <ID>.svg into this directory")
 		platName = flag.String("platform", "", "platform preset (default stm32h743)")
@@ -81,20 +99,43 @@ func main() {
 		os.Exit(2)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	for i, e := range exps {
+		var before runtime.MemStats
+		if *jsonOut {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		tb, err := e.Run(cfg)
+		wall := time.Since(start)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			if err := enc.Encode(jsonRecord{
+				ID:         e.ID,
+				Title:      tb.Title,
+				WallMs:     float64(wall.Nanoseconds()) / 1e6,
+				Allocs:     after.Mallocs - before.Mallocs,
+				AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				Rows:       len(tb.Rows),
+				Columns:    tb.Columns,
+				Table:      tb.Rows,
+				Notes:      tb.Notes,
+			}); err != nil {
+				fatal(err)
+			}
+		case *csv:
 			tb.CSV(os.Stdout)
-		} else {
+		default:
 			if i > 0 {
 				fmt.Println()
 			}
 			tb.Fprint(os.Stdout)
-			fmt.Printf("  (%.1fs)\n", time.Since(start).Seconds())
+			fmt.Printf("  (%.1fs)\n", wall.Seconds())
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {

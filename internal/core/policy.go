@@ -93,6 +93,14 @@ func (p Policy) DepthFor(name string) int {
 	return p.Depth
 }
 
+// Fingerprint returns a deterministic string covering every field that can
+// change the policy's offline pipeline (fmt prints the TaskDepth map in
+// sorted key order). Two policies with equal fingerprints segment, provision,
+// and analyze identically, so the string is safe as a memoization key.
+func (p Policy) Fingerprint() string {
+	return fmt.Sprintf("%+v", p)
+}
+
 // DefaultGranularityNs is the default preemption granularity budget δ₀:
 // a policy with buffer depth d splits compute regions to at most δ₀/d, so
 // the staged *inventory* a task can hold (depth × segment) — and with it

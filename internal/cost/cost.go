@@ -241,6 +241,16 @@ func (p Platform) Validate() error {
 	return nil
 }
 
+// Fingerprint returns a deterministic string covering every cost-relevant
+// field of the platform — clock, throughput tables (fmt prints maps in
+// sorted key order), memory timing, SRAM partition, bus contention, D-cache.
+// Two platforms with equal fingerprints produce identical segmentation and
+// analysis results, so the string is safe as a memoization key. Platform
+// itself contains a map and cannot be a map key directly.
+func (p Platform) Fingerprint() string {
+	return fmt.Sprintf("%+v", p)
+}
+
 // WithWeightBuf returns a copy of the platform with a different staging
 // budget (used by SRAM-sweep experiments).
 func (p Platform) WithWeightBuf(bytes int64) Platform {

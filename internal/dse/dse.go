@@ -223,7 +223,7 @@ func Explore(spec workload.SetSpec, plat cost.Platform, k Knobs) (*Result, error
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				grid[i] = evaluate(spec, plat, grid[i])
+				grid[i] = safeEvaluate(spec, plat, grid[i])
 			}
 		}()
 	}
@@ -233,6 +233,27 @@ func Explore(spec workload.SetSpec, plat cost.Platform, k Knobs) (*Result, error
 	close(next)
 	wg.Wait()
 	return &Result{Points: grid, Frontier: frontier(grid)}, nil
+}
+
+// evalPoint is the per-point evaluator, indirected so tests can inject a
+// pathological one.
+var evalPoint = evaluate
+
+// safeEvaluate shields the exploration from a panicking grid point: one
+// degenerate configuration (however it breaks the pipeline) becomes an
+// infeasible point with the panic as its Reason instead of killing the whole
+// exploration and every sibling worker.
+func safeEvaluate(spec workload.SetSpec, plat cost.Platform, pt Point) (out Point) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = pt
+			out.Feasible = false
+			out.Schedulable = false
+			out.Alpha = 0
+			out.Reason = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	return evalPoint(spec, plat, pt)
 }
 
 // evaluate runs the offline pipeline for one configuration. Tuned points

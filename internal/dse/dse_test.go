@@ -201,6 +201,54 @@ func TestExploreReportsInfeasibleReasons(t *testing.T) {
 	}
 }
 
+// TestExplorePanicRecovery injects an evaluator that panics on one grid
+// point of a pathological knob grid: Explore must still complete, the
+// poisoned point must come back infeasible with the panic recorded as its
+// Reason, and every sibling point must evaluate normally.
+func TestExplorePanicRecovery(t *testing.T) {
+	sp := testSpec(t, 2, 0.3)
+	orig := evalPoint
+	defer func() { evalPoint = orig }()
+	evalPoint = func(spec workload.SetSpec, plat cost.Platform, pt Point) Point {
+		if pt.StagingBytes == 192<<10 && pt.GranularityNs == 500_000 {
+			panic("pathological grid point")
+		}
+		return orig(spec, plat, pt)
+	}
+	r, err := Explore(sp, cost.STM32H743, smallKnobs())
+	if err != nil {
+		t.Fatalf("explore died on a panicking point: %v", err)
+	}
+	if want := 2 * 1 * 2 * 1; len(r.Points) != want {
+		t.Fatalf("grid size %d, want %d", len(r.Points), want)
+	}
+	poisoned := 0
+	for _, p := range r.Points {
+		if p.StagingBytes == 192<<10 && p.GranularityNs == 500_000 {
+			poisoned++
+			if p.Feasible || p.Schedulable || p.Alpha != 0 {
+				t.Fatalf("panicked point not marked infeasible: %+v", p)
+			}
+			if p.Reason != "panic: pathological grid point" {
+				t.Fatalf("panic not recorded as reason: %q", p.Reason)
+			}
+			continue
+		}
+		if !p.Feasible && p.Reason == "" {
+			t.Fatalf("sibling point lost its evaluation: %+v", p)
+		}
+	}
+	if poisoned != 1 {
+		t.Fatalf("poisoned points %d, want 1", poisoned)
+	}
+	// The frontier must be built from the surviving points only.
+	for _, f := range r.Frontier {
+		if f.Reason != "" {
+			t.Fatalf("panicked point on the frontier: %+v", f)
+		}
+	}
+}
+
 func TestExploreRejectsEmptySpec(t *testing.T) {
 	if _, err := Explore(workload.SetSpec{}, cost.STM32H743, smallKnobs()); err == nil {
 		t.Fatal("empty spec accepted")

@@ -8,6 +8,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
@@ -57,6 +58,12 @@ func (r *Result) DMAUtilization() float64 {
 	}
 	return float64(r.DMABusyNs) / float64(r.Horizon)
 }
+
+// enginePool recycles simulation engines across runs: sweep-scale callers
+// (F5/F19/F20/T21 run thousands of task sets) reuse each engine's event slab
+// and queue capacity instead of re-growing them per simulated set. Nothing in
+// a Result retains the engine, so pooling is invisible to callers.
+var enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
 
 // job is one released inference instance.
 type job struct {
@@ -145,7 +152,9 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	if horizon <= 0 {
 		return nil, fmt.Errorf("exec: non-positive horizon %v", horizon)
 	}
-	eng := sim.NewEngine()
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset()
+	defer enginePool.Put(eng)
 	_, cpu, dma := platform.NewBus(eng, plat)
 	r := &runner{
 		eng: eng, cpu: cpu, dma: dma,

@@ -1,0 +1,39 @@
+package expr
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestF5DeterministicAcrossGOMAXPROCS is the bit-reproducibility oracle for
+// the parallelized experiment loops: the empirical-miss sweep (F5) exercises
+// workload generation, the memoized accepted() pipeline and full simulations
+// under parallelEach, and its rendered table must not depend on how many
+// workers the runtime hands us. Results are reduced in index order into
+// pre-sized slices, so float accumulation order — and therefore every
+// rounded cell — is fixed.
+func TestF5DeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs F5 twice; skipped in -short")
+	}
+	cfg := QuickConfig()
+	e, err := ByID("F5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(procs int) string {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		tb, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("F5 with GOMAXPROCS=%d: %v", procs, err)
+		}
+		return tb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("F5 output depends on GOMAXPROCS:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -62,10 +62,14 @@ func runF10(cfg Config) (*Table, error) {
 	}
 	pols := append(core.ComparisonSet(), core.RTMDMEDF(), core.RTMDMFIFODMA())
 	horizon := 2 * 300 * sim.Millisecond // two hyperperiods
-	for _, pol := range pols {
+	blocks := make([][][]string, len(pols))
+	errs := make([]error, len(pols))
+	parallelEach(len(pols), func(pi int) {
+		pol := pols[pi]
 		s, err := CaseStudySet(cfg.Platform, pol)
 		if err != nil {
-			return nil, err
+			errs[pi] = err
+			return
 		}
 		bounds := map[string]sim.Duration{}
 		if test, err := analysis.ForPolicy(pol); err == nil {
@@ -77,7 +81,8 @@ func runF10(cfg Config) (*Table, error) {
 		}
 		r, err := exec.Run(s, cfg.Platform, pol, horizon)
 		if err != nil {
-			return nil, err
+			errs[pi] = err
+			return
 		}
 		for _, ct := range caseStudyTasks {
 			tm := r.Metrics.PerTask[ct.name]
@@ -85,10 +90,18 @@ func runF10(cfg Config) (*Table, error) {
 			if b, ok := bounds[ct.name]; ok {
 				bcell = ms(int64(b))
 			}
-			t.AddRow(pol.Name, ct.name, bcell,
+			blocks[pi] = append(blocks[pi], []string{pol.Name, ct.name, bcell,
 				ms(int64(tm.MaxResponse)), ms(int64(tm.Percentile(95))), ms(int64(tm.AvgResponse())),
 				pct(tm.MissRatio()),
-				f2(r.CPUUtilization()), f2(r.DMAUtilization()))
+				f2(r.CPUUtilization()), f2(r.DMAUtilization())})
+		}
+	})
+	for pi, block := range blocks {
+		if errs[pi] != nil {
+			return nil, errs[pi]
+		}
+		for _, row := range block {
+			t.AddRow(row...)
 		}
 	}
 	return t, nil

@@ -37,25 +37,51 @@ func runT23(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		type t23res struct {
+			fixed   bool
+			hasRec  bool
+			staging float64
+			alpha   float64
+			front   float64
+			err     error
+		}
+		results := make([]t23res, len(specs))
+		parallelEach(len(specs), func(k int) {
+			sp := specs[k]
+			r := t23res{}
+			r.fixed, _, _ = accepted(sp, cfg.Platform, core.RTMDM())
+			// Explore parallelizes internally too; nesting just feeds the
+			// same GOMAXPROCS-wide pool more evenly when grids are small.
+			er, err := dse.Explore(sp, cfg.Platform, knobs)
+			if err != nil {
+				r.err = err
+				results[k] = r
+				return
+			}
+			if rec, ok := er.Recommend(1.1); ok {
+				r.hasRec = true
+				r.staging = float64(rec.StagingBytes) / 1024
+				r.alpha = rec.Alpha
+				r.front = float64(len(er.Frontier))
+			}
+			results[k] = r
+		})
 		fixedOK, expOK := 0, 0
 		var stagingSum, alphaSum, frontSum float64
-		for _, sp := range specs {
-			if acc, _, _ := accepted(sp, cfg.Platform, core.RTMDM()); acc {
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.fixed {
 				fixedOK++
 			}
-			// Explore parallelizes internally; keep the outer loop serial.
-			r, err := dse.Explore(sp, cfg.Platform, knobs)
-			if err != nil {
-				return nil, err
-			}
-			rec, ok := r.Recommend(1.1)
-			if !ok {
+			if !r.hasRec {
 				continue
 			}
 			expOK++
-			stagingSum += float64(rec.StagingBytes) / 1024
-			alphaSum += rec.Alpha
-			frontSum += float64(len(r.Frontier))
+			stagingSum += r.staging
+			alphaSum += r.alpha
+			frontSum += r.front
 		}
 		n := float64(len(specs))
 		staging, alpha, front := "-", "-", "-"

@@ -109,13 +109,17 @@ func runF13(cfg Config) (*Table, error) {
 // acceptFracN is acceptFrac but tolerant of workload-generation failures on
 // constrained platforms (counts them as rejections).
 func acceptFracN(cfg Config, plat cost.Platform, util float64, n int, pol core.Policy) (float64, error) {
-	ok := 0
-	for k := 0; k < cfg.Sets; k++ {
+	acc := make([]bool, cfg.Sets)
+	parallelEach(cfg.Sets, func(k int) {
 		sp, err := genOneSpec(cfg, plat, util, n, int64(k))
 		if err != nil {
-			continue // platform cannot host any feasible mix
+			return // platform cannot host any feasible mix: rejection
 		}
-		if acc, _, _ := accepted(sp, plat, pol); acc {
+		acc[k], _, _ = accepted(sp, plat, pol)
+	})
+	ok := 0
+	for _, a := range acc {
+		if a {
 			ok++
 		}
 	}
@@ -262,15 +266,18 @@ func runT18(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fixedOK, tunedOK := 0, 0
-		var deltaSum, gainSum float64
-		gainN := 0
-		for _, sp := range specs {
+		type t18res struct {
+			fixedAcc  bool
+			bestAcc   bool
+			bestDelta int64
+			gain      float64
+			hasGain   bool
+		}
+		results := make([]t18res, len(specs))
+		parallelEach(len(specs), func(k int) {
+			sp := specs[k]
 			fixedPol := core.RTMDM()
 			fixedAcc, _, fixedSet := accepted(sp, cfg.Platform, fixedPol)
-			if fixedAcc {
-				fixedOK++
-			}
 			// Search δ by breakdown factor.
 			bestAlpha, bestDelta, bestAcc := -1.0, int64(0), false
 			for _, g := range grans {
@@ -291,18 +298,32 @@ func runT18(cfg Config) (*Table, error) {
 					bestAlpha, bestDelta, bestAcc = alpha, g, acc
 				}
 			}
-			if bestAcc {
-				tunedOK++
-			}
-			if bestDelta > 0 {
-				deltaSum += float64(bestDelta) / 1e6
-			}
+			r := t18res{fixedAcc: fixedAcc, bestAcc: bestAcc, bestDelta: bestDelta}
 			if fixedSet != nil && bestAlpha > 0 {
 				test, _ := analysis.ForPolicy(fixedPol)
 				if fixedAlpha := analysis.BreakdownFactor(fixedSet, cfg.Platform, test, 0.05); fixedAlpha > 0 {
-					gainSum += bestAlpha / fixedAlpha
-					gainN++
+					r.gain = bestAlpha / fixedAlpha
+					r.hasGain = true
 				}
+			}
+			results[k] = r
+		})
+		fixedOK, tunedOK := 0, 0
+		var deltaSum, gainSum float64
+		gainN := 0
+		for _, r := range results {
+			if r.fixedAcc {
+				fixedOK++
+			}
+			if r.bestAcc {
+				tunedOK++
+			}
+			if r.bestDelta > 0 {
+				deltaSum += float64(r.bestDelta) / 1e6
+			}
+			if r.hasGain {
+				gainSum += r.gain
+				gainN++
 			}
 		}
 		n := float64(len(specs))
@@ -332,10 +353,13 @@ func runF19(cfg Config) (*Table, error) {
 		Notes:   "D = frac·T with rate-monotonic priorities (density rises as frac falls)",
 	}
 	for _, frac := range []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5} {
+		frac := frac
 		row := []string{f2(frac)}
 		for _, pol := range pols {
-			ok := 0
-			for k := 0; k < cfg.Sets; k++ {
+			pol := pol
+			acc := make([]bool, cfg.Sets)
+			errs := make([]error, cfg.Sets)
+			parallelEach(cfg.Sets, func(k int) {
 				sp, err := workload.Generate(workload.Params{
 					Seed:         cfg.Seed + int64(k)*7907 + int64(frac*1000),
 					N:            cfg.N,
@@ -344,9 +368,17 @@ func runF19(cfg Config) (*Table, error) {
 					DeadlineFrac: frac,
 				})
 				if err != nil {
-					return nil, err
+					errs[k] = err
+					return
 				}
-				if acc, _, _ := accepted(sp, cfg.Platform, pol); acc {
+				acc[k], _, _ = accepted(sp, cfg.Platform, pol)
+			})
+			ok := 0
+			for k := range acc {
+				if errs[k] != nil {
+					return nil, errs[k]
+				}
+				if acc[k] {
 					ok++
 				}
 			}
@@ -374,20 +406,23 @@ func runF20(cfg Config) (*Table, error) {
 		Notes:   "jitter widens every interference window by J_h; the executor delays arrivals deterministically per job",
 	}
 	for _, frac := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+		frac := frac
 		row := []string{f2(frac)}
-		var specs []workload.SetSpec
-		for k := 0; k < cfg.Sets; k++ {
-			sp, err := workload.Generate(workload.Params{
+		specs := make([]workload.SetSpec, cfg.Sets)
+		genErrs := make([]error, cfg.Sets)
+		parallelEach(cfg.Sets, func(k int) {
+			specs[k], genErrs[k] = workload.Generate(workload.Params{
 				Seed:       cfg.Seed + int64(k)*7907 + int64(frac*1000),
 				N:          cfg.N,
 				Util:       0.5,
 				Platform:   cfg.Platform,
 				JitterFrac: frac,
 			})
+		})
+		for _, err := range genErrs {
 			if err != nil {
 				return nil, err
 			}
-			specs = append(specs, sp)
 		}
 		for _, pol := range pols {
 			pol := pol

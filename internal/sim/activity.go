@@ -15,7 +15,7 @@ type Activity struct {
 	remaining int64 // work-ns still to do
 	num, den  int64 // current rate
 	started   Time  // when the current leg began
-	event     *Event
+	event     Event // zero when no completion is armed
 	onDone    func()
 	running   bool
 	finished  bool
@@ -81,10 +81,8 @@ func (a *Activity) Pause() {
 	}
 	a.remaining -= a.progressed()
 	a.running = false
-	if a.event != nil {
-		a.eng.Cancel(a.event)
-		a.event = nil
-	}
+	a.eng.Cancel(a.event)
+	a.event = Event{}
 }
 
 // SetRate changes the progress rate mid-flight, preserving completed work
@@ -100,10 +98,8 @@ func (a *Activity) SetRate(num, den int64) {
 	a.remaining -= a.progressed()
 	a.num, a.den = num, den
 	a.started = a.eng.Now()
-	if a.event != nil {
-		a.eng.Cancel(a.event)
-		a.event = nil
-	}
+	a.eng.Cancel(a.event)
+	a.event = Event{}
 	a.arm()
 }
 
@@ -121,7 +117,7 @@ func (a *Activity) complete() {
 	a.remaining = 0
 	a.running = false
 	a.finished = true
-	a.event = nil
+	a.event = Event{}
 	if a.onDone != nil {
 		a.onDone()
 	}

@@ -6,10 +6,20 @@
 // makes every run bit-for-bit reproducible regardless of host load or Go
 // runtime behaviour — the property that lets a garbage-collected language
 // model a hard-real-time MCU faithfully.
+//
+// # Allocation model
+//
+// The kernel is allocation-free on its hot path. Events live in a per-engine
+// slab indexed by a free list; Schedule returns a small value handle (no
+// boxing), and the pending queue is an inlined 4-ary min-heap of
+// (time, seq, slot) keys. Handles are generation-tagged: cancelling a handle
+// whose slot has been reused by a later event is a safe no-op, as is
+// cancelling an event that already fired. Engine.Reset lets sweep-scale
+// callers reuse one engine (and its slab/heap capacity) across thousands of
+// simulated task sets instead of allocating a fresh queue per run.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -50,49 +60,71 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. It is returned by Engine.Schedule so the
-// caller can cancel it before it fires.
+// Event is a generation-tagged handle to a scheduled callback, returned by
+// Engine.Schedule so the caller can cancel it before it fires. It is a small
+// value (no allocation); the zero Event is a valid "no event" handle whose
+// Cancel is a no-op. Handles stay safe to use after the event fires, after
+// cancellation, and after the engine reuses the underlying slot for a later
+// event: operations on a stale handle are documented no-ops.
 type Event struct {
-	at        Time
-	seq       uint64
-	index     int // heap index, -1 once popped
-	cancelled bool
-	fn        func()
+	eng  *Engine
+	slot int32
+	gen  uint32
+	at   Time
 }
 
-// Time reports the instant the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+// Time reports the instant the event is (or was) scheduled to fire. It is
+// zero for the zero Event.
+func (ev Event) Time() Time { return ev.at }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancelled reports whether this handle's event was cancelled before it
+// fired. An event that fired normally — even if Cancel was called on it
+// afterwards — reports false.
+func (ev Event) Cancelled() bool {
+	if ev.eng == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	return ev.eng.slots[ev.slot].cancelledGen == ev.gen
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Pending reports whether the event is still queued (scheduled, not yet
+// fired, not cancelled).
+func (ev Event) Pending() bool {
+	if ev.eng == nil {
+		return false
+	}
+	s := &ev.eng.slots[ev.slot]
+	return s.gen == ev.gen && s.heapIdx >= 0
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+// Cancel marks the event so it will not fire. Cancelling the zero Event, an
+// already-fired event, an already-cancelled event, or a handle whose slot
+// was reclaimed (by Engine.Reset or slot reuse) is a documented no-op.
+func (ev Event) Cancel() {
+	if ev.eng != nil {
+		ev.eng.Cancel(ev)
+	}
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// eventSlot is one slab cell. gen increments every time the slot is handed
+// to a new occupant (and once more on Reset), so stale handles can never
+// touch a later event. cancelledGen records the generation whose occupant
+// was cancelled: generations are unique per slot, making Event.Cancelled
+// exact for the whole life of the engine.
+type eventSlot struct {
+	fn           func()
+	seq          uint64
+	gen          uint32
+	cancelledGen uint32
+	heapIdx      int32 // index into Engine.heap, -1 when not queued
+}
+
+// heapEntry carries the ordering key inline so sift operations touch one
+// contiguous array instead of chasing slab pointers.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
@@ -100,14 +132,36 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
-	running bool
 	steps   uint64
+	running bool
+	slots   []eventSlot
+	free    []int32
+	heap    []heapEntry
 }
 
 // NewEngine returns an engine whose clock reads zero.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events, step counter cleared — while retaining the slab and queue capacity
+// grown by earlier runs. Every outstanding Event handle is invalidated
+// (their Cancel becomes a no-op and Pending reports false). Reset makes one
+// engine reusable across thousands of simulated task sets without
+// re-allocating its queue.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.steps = 0, 0, 0
+	e.running = false
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.fn = nil
+		s.heapIdx = -1
+		s.gen++ // invalidate outstanding handles
+		e.free = append(e.free, int32(i))
+	}
 }
 
 // Now returns the current virtual time.
@@ -116,63 +170,83 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule registers fn to run at absolute virtual time at. Scheduling in
 // the past panics: it would silently corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule nil func")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var si int32
+	if n := len(e.free); n > 0 {
+		si = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{heapIdx: -1})
+		si = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[si]
+	s.gen++ // new occupant: first occupant of a fresh slot gets gen 1
+	s.fn = fn
+	s.seq = e.seq
+	e.heap = append(e.heap, heapEntry{at: at, seq: e.seq, slot: si})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.siftUp(len(e.heap) - 1)
+	return Event{eng: e, slot: si, gen: s.gen, at: at}
 }
 
 // After registers fn to run d nanoseconds from now.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel marks ev so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a harmless no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled {
+// Cancel marks ev so it will not fire. Cancelling the zero Event, an
+// already-fired or already-cancelled event, a handle invalidated by Reset,
+// or a handle from a different engine is a harmless, documented no-op —
+// generation tags guarantee a stale handle can never cancel a later event
+// that happens to reuse the same slot.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || ev.eng == nil {
 		return
 	}
-	ev.cancelled = true
-	ev.fn = nil
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+	s := &e.slots[ev.slot]
+	if s.gen != ev.gen || s.heapIdx < 0 {
+		return // fired, cancelled, reused, or reset since
 	}
+	s.cancelledGen = ev.gen
+	e.heapRemove(int(s.heapIdx))
+	s.heapIdx = -1
+	s.fn = nil
+	e.free = append(e.free, ev.slot)
 }
 
 // Step executes the next event, advancing the clock to its timestamp. It
 // returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.steps++
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	h := e.heap[0]
+	e.heapRemove(0)
+	s := &e.slots[h.slot]
+	s.heapIdx = -1
+	fn := s.fn
+	s.fn = nil
+	// The slot is recycled before fn runs; the generation tag keeps the
+	// fired handle inert even if fn immediately reuses the slot.
+	e.free = append(e.free, h.slot)
+	e.now = h.at
+	e.steps++
+	fn()
+	return true
 }
 
 // Run executes events until the queue empties or the clock would pass
@@ -185,13 +259,8 @@ func (e *Engine) Run(horizon Time) uint64 {
 	e.running = true
 	defer func() { e.running = false }()
 	var n uint64
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > horizon {
+	for len(e.heap) > 0 {
+		if e.heap[0].at > horizon {
 			break
 		}
 		if !e.Step() {
@@ -220,4 +289,82 @@ func (e *Engine) RunAll(limit uint64) uint64 {
 		}
 	}
 	return n
+}
+
+// less orders heap entries by (time, schedule sequence): FIFO at one instant.
+func less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// The pending queue is a 4-ary min-heap: shallower than a binary heap (fewer
+// cache lines per reheapify) and branch-cheap because the four children are
+// adjacent. Parent of i is (i-1)/4; children are 4i+1..4i+4.
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ent, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.slots[h[i].slot].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = ent
+	e.slots[ent.slot].heapIdx = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if less(h[k], h[best]) {
+				best = k
+			}
+		}
+		if !less(h[best], ent) {
+			break
+		}
+		h[i] = h[best]
+		e.slots[h[i].slot].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = ent
+	e.slots[ent.slot].heapIdx = int32(i)
+}
+
+// heapRemove deletes the entry at heap index i, preserving the heap
+// invariant and the slab's back-pointers.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = heapEntry{}
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.slots[last.slot].heapIdx = int32(i)
+	// The moved entry may violate the invariant in either direction.
+	if i > 0 && less(last, e.heap[(i-1)>>2]) {
+		e.siftUp(i)
+	} else {
+		e.siftDown(i)
+	}
 }

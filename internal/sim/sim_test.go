@@ -74,9 +74,9 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelFromWithinEarlierEvent(t *testing.T) {

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Regression for the Cancel/fire asymmetry: cancelling an event that already
+// fired must be a no-op, and in particular must NOT make Cancelled() report
+// true afterwards.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.RunAll(0)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	e.Cancel(ev)
+	if ev.Cancelled() {
+		t.Fatal("Cancelled() = true for an event that fired normally")
+	}
+	if ev.Pending() {
+		t.Fatal("Pending() = true after fire")
+	}
+}
+
+func TestEventCancelMethod(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.RunAll(0)
+	if fired {
+		t.Fatal("event fired after Event.Cancel")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Event.Cancel")
+	}
+	// Zero handle: must not panic.
+	var zero Event
+	zero.Cancel()
+	if zero.Cancelled() || zero.Pending() {
+		t.Fatal("zero Event reports Cancelled or Pending")
+	}
+}
+
+// A handle must stay inert after its slot is reused by a later event:
+// cancelling the stale handle must not cancel the new occupant.
+func TestStaleHandleCannotCancelReusedSlot(t *testing.T) {
+	e := NewEngine()
+	old := e.Schedule(5, func() {})
+	e.RunAll(0) // fires; slot returns to the free list
+
+	fired := false
+	fresh := e.Schedule(e.Now()+5, func() { fired = true })
+	old.Cancel() // stale: same slot, older generation
+	if old.Cancelled() {
+		t.Fatal("stale handle reports Cancelled after no-op Cancel")
+	}
+	e.RunAll(0)
+	if !fired {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	_ = fresh
+}
+
+func TestResetClearsStateAndInvalidatesHandles(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	stale := e.Schedule(50, func() { fired++ })
+	e.Run(20)
+	if e.Now() != 20 || e.Steps() != 1 || e.Pending() != 1 {
+		t.Fatalf("pre-reset state: now=%v steps=%d pending=%d", e.Now(), e.Steps(), e.Pending())
+	}
+
+	e.Reset()
+	if e.Now() != 0 || e.Steps() != 0 || e.Pending() != 0 {
+		t.Fatalf("post-reset state: now=%v steps=%d pending=%d", e.Now(), e.Steps(), e.Pending())
+	}
+	if stale.Pending() {
+		t.Fatal("handle from before Reset still Pending")
+	}
+	stale.Cancel() // must be a no-op, not a panic or a cancel of future events
+
+	// The engine must behave like a fresh one.
+	order := []int{}
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunAll(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("post-reset order %v", order)
+	}
+	if fired != 1 {
+		t.Fatalf("pre-reset pending event leaked across Reset: fired=%d", fired)
+	}
+}
+
+// An event callback may immediately schedule again; if it lands in the slot
+// just vacated, the fired handle must still be inert.
+func TestRescheduleIntoFreedSlotDuringFire(t *testing.T) {
+	e := NewEngine()
+	var first Event
+	nested := false
+	first = e.Schedule(10, func() {
+		e.After(5, func() { nested = true })
+		// The nested event likely reuses first's slot; cancelling the
+		// already-fired handle must not touch it.
+		first.Cancel()
+	})
+	e.RunAll(0)
+	if !nested {
+		t.Fatal("nested event was cancelled through a fired handle")
+	}
+	if first.Cancelled() {
+		t.Fatal("fired handle reports Cancelled")
+	}
+}
+
+// Interleaved schedule/cancel against a mirror map exercises slab reuse,
+// heap removal from interior positions, and generation churn.
+func TestSlabChurnMatchesReference(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	pending := map[int]Event{}
+	next := 0
+	// LCG keeps the test deterministic without rand.
+	state := uint64(12345)
+	rnd := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	expect := map[int]bool{}
+	for round := 0; round < 2000; round++ {
+		if rnd(3) != 0 || len(pending) == 0 {
+			id := next
+			next++
+			at := e.Now() + Time(rnd(50)+1)
+			pending[id] = e.Schedule(at, func() { fired = append(fired, id) })
+			expect[id] = true
+		} else {
+			// Cancel a random pending event.
+			for id, ev := range pending {
+				e.Cancel(ev)
+				if !ev.Cancelled() {
+					t.Fatalf("event %d not Cancelled after Cancel", id)
+				}
+				delete(pending, id)
+				delete(expect, id)
+				break
+			}
+		}
+		if rnd(4) == 0 {
+			e.Run(e.Now() + Time(rnd(20)))
+			for _, id := range fired {
+				if !expect[id] {
+					t.Fatalf("cancelled event %d fired", id)
+				}
+				delete(expect, id)
+				delete(pending, id)
+			}
+			fired = fired[:0]
+		}
+	}
+	e.RunAll(0)
+	for _, id := range fired {
+		if !expect[id] {
+			t.Fatalf("cancelled event %d fired in drain", id)
+		}
+		delete(expect, id)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d scheduled events never fired", len(expect))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", e.Pending())
+	}
+}
+
+// The kernel hot path — schedule, fire, cancel, re-heapify — must not
+// allocate once the slab and heap have grown to their working size.
+func TestKernelSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	// Warm up slab + heap capacity.
+	for i := 0; i < 256; i++ {
+		e.Schedule(e.Now()+Time(i%17+1), fn)
+	}
+	e.RunAll(0)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		base := e.Now()
+		var evs [64]Event
+		for i := 0; i < 64; i++ {
+			evs[i] = e.Schedule(base+Time(i%13+1), fn)
+		}
+		for i := 0; i < 64; i += 3 {
+			e.Cancel(evs[i])
+		}
+		e.RunAll(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state kernel allocs/op = %v, want 0", allocs)
+	}
+	_ = sink
+}
+
+// Reset must retain capacity: a reset engine re-running the same load stays
+// allocation-free.
+func TestResetRetainsCapacityZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	load := func() {
+		for i := 0; i < 128; i++ {
+			e.Schedule(e.Now()+Time(i%11+1), fn)
+		}
+		e.RunAll(0)
+	}
+	load() // warm-up growth
+	allocs := testing.AllocsPerRun(50, func() {
+		e.Reset()
+		load()
+	})
+	if allocs != 0 {
+		t.Fatalf("reset+reload allocs/op = %v, want 0", allocs)
+	}
+}

@@ -52,6 +52,13 @@ type SetSpec struct {
 	Util float64
 }
 
+// Fingerprint returns a deterministic string covering every field of the
+// spec, for use as a memoization key alongside platform and policy
+// fingerprints.
+func (sp SetSpec) Fingerprint() string {
+	return fmt.Sprintf("%+v", sp)
+}
+
 // Params configures task-set generation.
 type Params struct {
 	Seed int64
@@ -74,30 +81,53 @@ type Params struct {
 	JitterFrac float64
 }
 
+// The generation pipeline is memoized at every level that repeats across
+// sweep points: models, segmentation plans, reference demands, activation
+// footprints, and whole generated specs. All caches are sync.Map so the
+// parallel experiment harness's workers never serialize on a shared mutex;
+// every cached computation is a pure function of its key, so a racing
+// duplicate compute stores an identical value and determinism is preserved.
+//
 // modelCache avoids rebuilding identical zoo models across thousands of
-// generated sets. Models are immutable once built; the mutex makes the
-// cache safe for the parallel experiment harness.
-var (
-	modelCacheMu sync.Mutex
-	modelCache   = map[string]*nn.Model{}
-)
+// generated sets. Models are immutable once built.
+var modelCache sync.Map // "name/seed" → *nn.Model
 
 func cachedModel(name string, seed int64) (*nn.Model, error) {
 	key := fmt.Sprintf("%s/%d", name, seed)
-	modelCacheMu.Lock()
-	m, ok := modelCache[key]
-	modelCacheMu.Unlock()
-	if ok {
-		return m, nil
+	if m, ok := modelCache.Load(key); ok {
+		return m.(*nn.Model), nil
 	}
 	m, err := models.Build(name, seed)
 	if err != nil {
 		return nil, err
 	}
-	modelCacheMu.Lock()
-	modelCache[key] = m
-	modelCacheMu.Unlock()
+	modelCache.Store(key, m)
 	return m, nil
+}
+
+// planCache memoizes segment.BuildLimits results. Plans are immutable after
+// Build and every consumer (Provision, the analyses, the executor) treats
+// them as read-only, so one plan is safely shared across task sets and
+// goroutines. The key includes the full platform fingerprint: WithWeightBuf/
+// WithDCache/WithBandwidth variants keep the platform name but change
+// segmentation, and must not collide.
+var planCache sync.Map // model/seed/limits/platform-fingerprint → *segment.Plan
+
+func cachedPlan(name string, seed int64, plat cost.Platform, lim segment.Limits) (*segment.Plan, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d|%s", name, seed, lim.Bytes, lim.ComputeNs, plat.Fingerprint())
+	if pl, ok := planCache.Load(key); ok {
+		return pl.(*segment.Plan), nil
+	}
+	m, err := cachedModel(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Store(key, pl)
+	return pl, nil
 }
 
 // refBudget is the policy-independent staging budget used to compute the
@@ -111,9 +141,19 @@ func refBudget(plat cost.Platform, n int) int64 {
 	return b
 }
 
+// refDemandCache memoizes the reference serial demand per (model, seed,
+// platform, n). Keyed on the full platform fingerprint so cost-model
+// variants of a platform (different D-cache, bandwidth, buffer split) never
+// reuse each other's demands.
+var refDemandCache sync.Map
+
 // refDemand returns the serial (load+compute) nanoseconds of one job of
 // the model at the reference segmentation.
 func refDemand(name string, seed int64, plat cost.Platform, n int) (int64, error) {
+	key := fmt.Sprintf("%s/%d/%d|%s", name, seed, n, plat.Fingerprint())
+	if d, ok := refDemandCache.Load(key); ok {
+		return d.(int64), nil
+	}
 	m, err := cachedModel(name, seed)
 	if err != nil {
 		return 0, err
@@ -122,12 +162,32 @@ func refDemand(name string, seed int64, plat cost.Platform, n int) (int64, error
 	if err != nil {
 		return 0, err
 	}
-	return pl.SerialNs(), nil
+	d := pl.SerialNs()
+	refDemandCache.Store(key, d)
+	return d, nil
 }
+
+// specCache memoizes Generate: the whole draw is a pure function of Params
+// (the rng is seeded from p.Seed and the catalog order is fixed), so one
+// generated spec serves every experiment that sweeps the same point.
+var specCache sync.Map // Params fingerprint → SetSpec
 
 // Generate draws a SetSpec: models uniformly from the catalog subset,
 // utilization shares by UUniFast, periods = refDemand/share (clamped).
 func Generate(p Params) (SetSpec, error) {
+	key := fmt.Sprintf("%+v", p)
+	if sp, ok := specCache.Load(key); ok {
+		return sp.(SetSpec), nil
+	}
+	sp, err := generate(p)
+	if err != nil {
+		return SetSpec{}, err
+	}
+	specCache.Store(key, sp)
+	return sp, nil
+}
+
+func generate(p Params) (SetSpec, error) {
 	if p.N < 1 {
 		return SetSpec{}, fmt.Errorf("workload: N = %d", p.N)
 	}
@@ -211,14 +271,15 @@ func Generate(p Params) (SetSpec, error) {
 }
 
 // actFootprint returns (max resident boundary bytes, peak working set) of a
-// model at the reference segmentation, cached per (model, platform, n).
+// model at the reference segmentation, cached per (model, platform name, n).
+// The key deliberately uses the platform *name*, matching the behaviour the
+// published result tables were generated with: cost-model variants of a
+// named platform share one footprint entry.
 func actFootprint(name string, plat cost.Platform, n int) (int64, int64, error) {
 	key := fmt.Sprintf("act/%s/%s/%d", name, plat.Name, n)
-	footprintMu.Lock()
-	v, ok := footprintCache[key]
-	footprintMu.Unlock()
-	if ok {
-		return v[0], v[1], nil
+	if v, ok := footprintCache.Load(key); ok {
+		f := v.([2]int64)
+		return f[0], f[1], nil
 	}
 	m, err := cachedModel(name, 1)
 	if err != nil {
@@ -231,16 +292,11 @@ func actFootprint(name string, plat cost.Platform, n int) (int64, int64, error) 
 		return 0, 0, err
 	}
 	r, pk := pl.MaxResidentBytes(), m.PeakActivationBytes()
-	footprintMu.Lock()
-	footprintCache[key] = [2]int64{r, pk}
-	footprintMu.Unlock()
+	footprintCache.Store(key, [2]int64{r, pk})
 	return r, pk, nil
 }
 
-var (
-	footprintMu    sync.Mutex
-	footprintCache = map[string][2]int64{}
-)
+var footprintCache sync.Map // "act/name/platName/n" → [2]int64{resident, peak}
 
 // Instantiate builds the runnable task set for one policy: every model is
 // segmented with the policy's staging budget and preemption granularity,
@@ -257,11 +313,7 @@ func (sp SetSpec) InstantiateLimits(plat cost.Platform, lim segment.Limits) (*ta
 	}
 	var ts []*task.Task
 	for i, tsp := range sp.Tasks {
-		m, err := cachedModel(tsp.Model, tsp.Seed)
-		if err != nil {
-			return nil, err
-		}
-		pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+		pl, err := cachedPlan(tsp.Model, tsp.Seed, plat, lim)
 		if err != nil {
 			return nil, err
 		}
