@@ -16,11 +16,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rtmdm/internal/cost"
+	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/plot"
+	"rtmdm/internal/workload"
 )
 
 // jsonRecord is one -json line: enough to track performance regressions
@@ -52,8 +56,43 @@ func main() {
 		outDir   = flag.String("outdir", "", "also write each experiment as <ID>.csv into this directory")
 		svgDir   = flag.String("svgdir", "", "also render sweep experiments as <ID>.svg into this directory")
 		platName = flag.String("platform", "", "platform preset (default stm32h743)")
+		showMet  = flag.Bool("metrics", false, "dump a per-experiment metrics diff as JSON on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range expr.All() {
@@ -99,17 +138,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *metrics.Registry
+	if *showMet {
+		reg = metrics.NewRegistry()
+		exec.Instrument(reg)
+		expr.Instrument(reg)
+		workload.Instrument(reg)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for i, e := range exps {
 		var before runtime.MemStats
 		if *jsonOut {
 			runtime.ReadMemStats(&before)
 		}
+		var metBefore metrics.Snapshot
+		if reg != nil {
+			metBefore = reg.Snapshot()
+		}
 		start := time.Now()
 		tb, err := e.Run(cfg)
 		wall := time.Since(start)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if reg != nil {
+			// Counter diffs scope the snapshot to this experiment; gauges
+			// (high-water marks) stay cumulative by design.
+			fmt.Fprintf(os.Stderr, "metrics %s:\n", e.ID)
+			if err := reg.Snapshot().Diff(metBefore).WriteJSON(os.Stderr); err != nil {
+				fatal(err)
+			}
 		}
 		switch {
 		case *jsonOut:

@@ -18,10 +18,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"rtmdm/internal/cost"
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/scenario"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/workload"
@@ -43,6 +46,8 @@ func main() {
 		simMs    = flag.Int64("simulate", 0, "cross-check the recommendation empirically for this many ms (0 = off)")
 		het      = flag.Bool("het", false, "also tune per-task prefetch windows at every staging/δ/chunk combination")
 		csvOut   = flag.Bool("csv", false, "emit the grid as CSV")
+		progress = flag.Bool("progress", true, "report sweep progress (points/sec, ETA) on stderr")
+		showMet  = flag.Bool("metrics", false, "dump the exploration metrics snapshot as JSON on stderr")
 	)
 	flag.Parse()
 
@@ -60,7 +65,25 @@ func main() {
 	}
 	knobs.TunePerTaskDepth = *het
 
+	if *showMet {
+		reg := metrics.NewRegistry()
+		dse.Instrument(reg)
+		workload.Instrument(reg)
+		exec.Instrument(reg) // the -simulate cross-check runs the executor
+		// Deferred so the snapshot also covers the -simulate cross-check.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "metrics:")
+			if err := reg.Snapshot().WriteJSON(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	stopTicker := func() {}
+	if *progress {
+		knobs.Progress, stopTicker = progressTicker(os.Stderr)
+	}
 	res, err := dse.Explore(spec, plat, knobs)
+	stopTicker()
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +117,55 @@ func main() {
 			}
 		}
 	}
+}
+
+// progressTicker returns a dse.Knobs.Progress callback plus a stop
+// function. A background goroutine rewrites one stderr line every 500 ms
+// with done/total, the completion rate and an ETA extrapolated from it;
+// stop prints the final tally. The callback only stores atomics, so the
+// sweep workers never block on terminal output.
+func progressTicker(w *os.File) (func(done, total int), func()) {
+	var done, total atomic.Int64
+	start := time.Now()
+	quit := make(chan struct{})
+	tick := time.NewTicker(500 * time.Millisecond)
+	report := func(final bool) {
+		d, n := done.Load(), total.Load()
+		if n == 0 {
+			return
+		}
+		el := time.Since(start).Seconds()
+		rate := float64(d) / el
+		if final {
+			fmt.Fprintf(w, "\rdse: %d/%d points in %.1fs (%.0f points/sec)\n", d, n, el, rate)
+			return
+		}
+		eta := "…"
+		if rate > 0 {
+			eta = fmt.Sprintf("%.1fs", float64(n-d)/rate)
+		}
+		fmt.Fprintf(w, "\rdse: %d/%d points (%.0f points/sec, ETA %s) ", d, n, rate, eta)
+	}
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				report(false)
+			}
+		}
+	}()
+	cb := func(d, n int) {
+		done.Store(int64(d))
+		total.Store(int64(n))
+	}
+	stop := func() {
+		tick.Stop()
+		close(quit)
+		report(true)
+	}
+	return cb, stop
 }
 
 // crossCheck simulates the recommended configuration and reports each

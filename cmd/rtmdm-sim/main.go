@@ -1,15 +1,17 @@
 // Command rtmdm-sim runs one multi-DNN scenario on the simulated MCU and
 // reports per-task outcomes, the schedulability verdict, an optional ASCII
-// timeline, and (optionally) the full execution trace.
+// timeline, a Perfetto-loadable trace export, and run-level metrics.
 //
 // Usage:
 //
 //	rtmdm-sim -tasks "ds-cnn:50,mobilenetv1-0.25:150,autoencoder:100" \
-//	          -policy rt-mdm -horizon 600 [-platform stm32h743] [-trace] [-timeline]
+//	          -policy rt-mdm -horizon 600 [-platform stm32h743] \
+//	          [-trace out.json] [-metrics] [-timeline] [-dump]
 //	rtmdm-sim -config scenario.json [-timeline]
 //
 // Each task spec is model:period_ms[:deadline_ms]. JSON scenarios follow
-// internal/scenario's schema.
+// internal/scenario's schema. -trace writes the Chrome Trace Event Format
+// consumed by ui.perfetto.dev (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
 	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/scenario"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/task"
@@ -36,8 +39,10 @@ func main() {
 		platName   = flag.String("platform", "stm32h743", "platform preset")
 		horizonMs  = flag.Int64("horizon", 1000, "simulation horizon in ms")
 		seed       = flag.Int64("seed", 1, "model weight seed")
-		dumpTrace  = flag.Bool("trace", false, "dump the full execution trace")
+		dumpTrace  = flag.Bool("dump", false, "dump the full execution trace as text")
+		traceJSON  = flag.String("trace", "", "write the trace in Trace Event Format (Perfetto/chrome://tracing) to this path")
 		traceCSV   = flag.String("trace-csv", "", "write the trace as CSV to this path")
+		showMetric = flag.Bool("metrics", false, "dump the run-level metrics snapshot as JSON")
 		timeline   = flag.Bool("timeline", false, "render an ASCII Gantt timeline")
 		tlWidth    = flag.Int("timeline-width", 120, "timeline width in columns")
 	)
@@ -112,6 +117,11 @@ func main() {
 		fmt.Printf("offline analysis: %v\n", err)
 	}
 
+	var reg *metrics.Registry
+	if *showMetric {
+		reg = metrics.NewRegistry()
+		exec.Instrument(reg)
+	}
 	r, err := exec.Run(set, plat, pol, horizon)
 	if err != nil {
 		fatal(err)
@@ -144,6 +154,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.ExportJSON(f, r.Trace, r.Infos); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nPerfetto trace written to %s (%d events) — load it at https://ui.perfetto.dev\n",
+			*traceJSON, r.Trace.Len())
+	}
 	if *traceCSV != "" {
 		f, err := os.Create(*traceCSV)
 		if err != nil {
@@ -160,6 +184,12 @@ func main() {
 	if *dumpTrace {
 		fmt.Println("\ntrace:")
 		r.Trace.Dump(os.Stdout)
+	}
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

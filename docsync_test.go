@@ -1,0 +1,102 @@
+package rtmdm
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"rtmdm/internal/dse"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/expr"
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/workload"
+)
+
+// allMetricNames registers every instrumented package on one registry and
+// returns the full set of metric names the process can expose.
+func allMetricNames() map[string]bool {
+	reg := metrics.NewRegistry()
+	exec.Instrument(reg)
+	dse.Instrument(reg)
+	expr.Instrument(reg)
+	workload.Instrument(reg)
+	defer func() {
+		exec.Instrument(nil)
+		dse.Instrument(nil)
+		expr.Instrument(nil)
+		workload.Instrument(nil)
+	}()
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot().Samples {
+		names[s.Name] = true
+	}
+	return names
+}
+
+// metricName matches the catalogue entries in docs/OBSERVABILITY.md:
+// backticked dotted identifiers like `exec.jobs_released`, scoped to the
+// instrumented-package namespaces so file names like `out.json` don't count.
+var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload)\\.[a-z0-9_]+)`")
+
+// TestObservabilityDocMatchesRegistry keeps docs/OBSERVABILITY.md and the
+// registry in lockstep, both directions: every metric named in the doc must
+// exist, and every registered metric must be documented.
+func TestObservabilityDocMatchesRegistry(t *testing.T) {
+	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range metricName.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	registered := allMetricNames()
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/OBSERVABILITY.md names %q, which is not in the registry", name)
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered but missing from docs/OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// TestDisabledInstrumentationAllocFree pins the zero-overhead-when-disabled
+// guarantee at the top of the stack: instrumenting the process and then
+// disabling it again must leave a full case-study simulation with exactly
+// the allocation profile of a never-instrumented run.
+func TestDisabledInstrumentationAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is wall-time sensitive; skipped in -short")
+	}
+	plat := DefaultPlatform()
+	pol := RTMDM()
+	set, err := NewSystem(plat, pol).
+		AddTask("kws", "ds-cnn", 50*Millisecond).
+		AddTask("det", "mobilenetv1-0.25", 150*Millisecond).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := Simulate(set, plat, pol, 200*Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the engine pool and offline caches
+	baseline := testing.AllocsPerRun(5, run)
+
+	// Round-trip through an enabled registry, then disable again.
+	reg := metrics.NewRegistry()
+	exec.Instrument(reg)
+	run()
+	exec.Instrument(nil)
+	disabled := testing.AllocsPerRun(5, run)
+
+	if disabled != baseline {
+		t.Fatalf("disabled instrumentation changed the alloc profile: %.0f allocs/op, baseline %.0f",
+			disabled, baseline)
+	}
+}

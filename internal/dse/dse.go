@@ -14,13 +14,45 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rtmdm/internal/analysis"
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/workload"
 )
+
+// instruments is the explorer's metrics sink; the zero struct (all nil
+// metrics, the default) makes every update a no-op.
+type instruments struct {
+	explored      *metrics.Counter
+	infeasible    *metrics.Counter
+	unschedulable *metrics.Counter
+	schedulable   *metrics.Counter
+	panicked      *metrics.Counter
+}
+
+var instr atomic.Pointer[instruments]
+
+func init() { instr.Store(&instruments{}) }
+
+// Instrument wires the explorer to the registry; Instrument(nil) disables
+// instrumentation. Counters aggregate across every Explore in the process.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instr.Store(&instruments{})
+		return
+	}
+	instr.Store(&instruments{
+		explored:      r.Counter("dse.points_explored", "points", "grid points evaluated"),
+		infeasible:    r.Counter("dse.points_infeasible", "points", "points failing segmentation or provisioning"),
+		unschedulable: r.Counter("dse.points_unschedulable", "points", "feasible points the analysis rejected"),
+		schedulable:   r.Counter("dse.points_schedulable", "points", "points with an offline certificate"),
+		panicked:      r.Counter("dse.points_panicked", "points", "points recovered from a pipeline panic"),
+	})
+}
 
 // Knobs enumerates the candidate values on each configuration axis. Every
 // axis must be non-empty; Explore evaluates the full cross product.
@@ -43,6 +75,11 @@ type Knobs struct {
 	// top-priority pipeline and saved on lower tasks' blocking inventory,
 	// often certifying workloads no uniform depth can.
 	TunePerTaskDepth bool
+	// Progress, when non-nil, is called after each grid point completes
+	// with the number of finished points and the grid size. It is invoked
+	// from worker goroutines and must be safe for concurrent use; sweeps
+	// use it to drive progress tickers without touching the results.
+	Progress func(done, total int)
 }
 
 // DefaultKnobs returns a practical grid for the given platform: staging
@@ -216,7 +253,9 @@ func Explore(spec workload.SetSpec, plat cost.Platform, k Knobs) (*Result, error
 	if workers > len(grid) {
 		workers = len(grid)
 	}
+	ins := instr.Load()
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -224,6 +263,18 @@ func Explore(spec workload.SetSpec, plat cost.Platform, k Knobs) (*Result, error
 			defer wg.Done()
 			for i := range next {
 				grid[i] = safeEvaluate(spec, plat, grid[i])
+				ins.explored.Add(1)
+				switch {
+				case grid[i].Schedulable:
+					ins.schedulable.Add(1)
+				case grid[i].Feasible:
+					ins.unschedulable.Add(1)
+				default:
+					ins.infeasible.Add(1)
+				}
+				if k.Progress != nil {
+					k.Progress(int(done.Add(1)), len(grid))
+				}
 			}
 		}()
 	}
@@ -246,6 +297,7 @@ var evalPoint = evaluate
 func safeEvaluate(spec workload.SetSpec, plat cost.Platform, pt Point) (out Point) {
 	defer func() {
 		if r := recover(); r != nil {
+			instr.Load().panicked.Add(1)
 			out = pt
 			out.Feasible = false
 			out.Schedulable = false

@@ -9,15 +9,72 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/platform"
 	"rtmdm/internal/segment"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/task"
 	"rtmdm/internal/trace"
 )
+
+// instruments is the package's metrics sink. All fields are nil when
+// instrumentation is disabled (the default); metric methods are nil-safe,
+// so every update below costs one branch and zero allocation when off.
+type instruments struct {
+	runs           *metrics.Counter
+	jobsReleased   *metrics.Counter
+	jobsCompleted  *metrics.Counter
+	deadlineMisses *metrics.Counter
+	ctxSwitches    *metrics.Counter
+	cpuBusyNs      *metrics.Counter
+	dmaBusyNs      *metrics.Counter
+	flashBytes     *metrics.Counter
+	sramPeak       *metrics.Gauge
+	jobResponse    *metrics.Histogram
+	sim            *sim.Instruments
+}
+
+// instr is swapped atomically so Instrument may race with concurrent Runs
+// (the parallel experiment sweeps) without a lock on the hot path. It always
+// holds a non-nil struct; the zero struct means "disabled".
+var instr atomic.Pointer[instruments]
+
+func init() { instr.Store(&instruments{}) }
+
+// Instrument wires the executor (and the sim engines it pools) to the
+// registry; Instrument(nil) disables instrumentation again. Counts
+// aggregate across every Run in the process, including concurrent ones.
+// See docs/OBSERVABILITY.md for the metric catalogue.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instr.Store(&instruments{})
+		return
+	}
+	instr.Store(&instruments{
+		runs:           r.Counter("exec.runs", "runs", "completed executor simulations"),
+		jobsReleased:   r.Counter("exec.jobs_released", "jobs", "periodic job arrivals"),
+		jobsCompleted:  r.Counter("exec.jobs_completed", "jobs", "jobs that finished their last segment"),
+		deadlineMisses: r.Counter("exec.deadline_misses", "jobs", "jobs whose absolute deadline passed unfinished"),
+		ctxSwitches:    r.Counter("exec.context_switches", "switches", "CPU dispatches that changed the running job"),
+		cpuBusyNs:      r.Counter("exec.cpu_busy_ns", "ns", "pure CPU work simulated (unit rate)"),
+		dmaBusyNs:      r.Counter("exec.dma_busy_ns", "ns", "pure DMA transfer work simulated (unit rate)"),
+		flashBytes:     r.Counter("exec.flash_bytes", "bytes", "parameter bytes read from external memory"),
+		sramPeak:       r.Gauge("exec.sram_peak_bytes", "bytes", "high-water mark of staged parameter bytes across runs"),
+		jobResponse: r.Histogram("exec.job_response_ns", "ns",
+			"response times of completed jobs",
+			[]int64{1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8}),
+		sim: &sim.Instruments{
+			Scheduled:     r.Counter("sim.events_scheduled", "events", "events entering the kernel queue"),
+			Fired:         r.Counter("sim.events_fired", "events", "events whose callback executed"),
+			Cancelled:     r.Counter("sim.events_cancelled", "events", "events removed before firing"),
+			SlabHighWater: r.Gauge("sim.slab_high_water", "slots", "peak simultaneously pending events in any engine"),
+		},
+	})
+}
 
 // Result is everything one simulation run produces.
 type Result struct {
@@ -134,6 +191,9 @@ type runner struct {
 	kickPending bool
 	horizon     sim.Time
 	err         error
+	// ins is the process-wide metrics sink, loaded once per run (never
+	// nil; the zero struct's nil metrics discard updates).
+	ins *instruments
 }
 
 // Run simulates the task set on the platform under the policy until the
@@ -155,6 +215,8 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	eng := enginePool.Get().(*sim.Engine)
 	eng.Reset()
 	defer enginePool.Put(eng)
+	ins := instr.Load()
+	eng.SetInstruments(ins.sim)
 	_, cpu, dma := platform.NewBus(eng, plat)
 	r := &runner{
 		eng: eng, cpu: cpu, dma: dma,
@@ -162,6 +224,7 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 		set:  set, plat: plat, pol: pol,
 		tr:      &trace.Trace{},
 		horizon: horizon,
+		ins:     ins,
 	}
 	for _, t := range set.Tasks {
 		rt := &rtask{t: t}
@@ -183,6 +246,11 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	if err := r.tr.CheckInvariants(infos); err != nil {
 		return nil, fmt.Errorf("exec: trace invariant violated under %s: %w", pol.Name, err)
 	}
+	ins.runs.Add(1)
+	ins.cpuBusyNs.Add(cpu.BusyNs)
+	ins.dmaBusyNs.Add(dma.BusyNs)
+	ins.flashBytes.Add(r.flashBytes)
+	ins.sramPeak.SetMax(r.sram.Peak())
 	energy := plat.Energy.EnergyMicroJ(int64(horizon), cpu.BusyNs, dma.BusyNs, r.flashBytes)
 	return &Result{
 		Trace:          r.tr,
@@ -246,6 +314,7 @@ func (r *runner) release(rt *rtask) {
 	}
 	rt.nextIdx++
 	rt.pending = append(rt.pending, j)
+	r.ins.jobsReleased.Add(1)
 	r.emit(trace.Release, j, -1, 0)
 	if j.absDeadline <= r.horizon {
 		// Watch the absolute deadline. The check double-defers through a
@@ -255,6 +324,7 @@ func (r *runner) release(rt *rtask) {
 		r.eng.Schedule(j.absDeadline, func() {
 			r.eng.Schedule(r.eng.Now(), func() {
 				if !j.done {
+					r.ins.deadlineMisses.Add(1)
 					r.emit(trace.DeadlineMiss, j, -1, 0)
 				}
 			})
@@ -492,6 +562,7 @@ func (r *runner) tryCPU() {
 	work := seg.ComputeNs
 	if r.lastRan != j {
 		work += r.plat.CPU.SwitchNs
+		r.ins.ctxSwitches.Add(1)
 	}
 	r.running = j
 	r.lastRan = j
@@ -513,6 +584,8 @@ func (r *runner) onComputeDone(j *job, seg segment.Segment) {
 	j.nextCompute++
 	if j.nextCompute >= j.segments() {
 		j.done = true
+		r.ins.jobsCompleted.Add(1)
+		r.ins.jobResponse.Observe(int64(r.eng.Now() - j.release))
 		r.emit(trace.JobDone, j, -1, 0)
 		if j.heldBytes != 0 {
 			r.fail(fmt.Errorf("exec: job %s#%d finished holding %d B", j.name(), j.idx, j.heldBytes))

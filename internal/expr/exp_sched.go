@@ -3,11 +3,13 @@ package expr
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rtmdm/internal/analysis"
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
 	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/task"
 	"rtmdm/internal/workload"
@@ -68,6 +70,31 @@ type acceptResult struct {
 // provisioning and analysis entirely.
 var acceptCache sync.Map
 
+// cacheIns carries the harness's cache-effectiveness counters (nil metrics
+// when instrumentation is off). rtmdm-bench -metrics snapshots the registry
+// around each experiment, so the diffs read as per-experiment hit/miss.
+type cacheIns struct {
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+var instr atomic.Pointer[cacheIns]
+
+func init() { instr.Store(&cacheIns{}) }
+
+// Instrument wires the harness's offline-pipeline cache to the registry;
+// Instrument(nil) disables instrumentation.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instr.Store(&cacheIns{})
+		return
+	}
+	instr.Store(&cacheIns{
+		hits:   r.Counter("expr.accept_cache_hits", "lookups", "offline-pipeline results served from the accept cache"),
+		misses: r.Counter("expr.accept_cache_misses", "lookups", "offline-pipeline runs that had to compute"),
+	})
+}
+
 // accepted runs a policy's offline pipeline on one spec: instantiate,
 // provision, analyze. Any stage failing means "not schedulable offline".
 // Results are memoized; callers must treat the returned verdict and set as
@@ -75,9 +102,11 @@ var acceptCache sync.Map
 func accepted(sp workload.SetSpec, plat cost.Platform, pol core.Policy) (bool, *analysis.Verdict, *task.Set) {
 	key := sp.Fingerprint() + "|" + plat.Fingerprint() + "|" + pol.Fingerprint()
 	if r, ok := acceptCache.Load(key); ok {
+		instr.Load().hits.Add(1)
 		ar := r.(acceptResult)
 		return ar.acc, ar.v, ar.s
 	}
+	instr.Load().misses.Add(1)
 	acc, v, s := acceptedUncached(sp, plat, pol)
 	acceptCache.Store(key, acceptResult{acc: acc, v: v, s: s})
 	return acc, v, s

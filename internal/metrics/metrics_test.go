@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count", "events", "test counter")
+	g := r.Gauge("a.gauge", "bytes", "test gauge")
+	h := r.Histogram("a.hist", "ns", "test histogram", []int64{10, 100})
+
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	g.Set(7)
+	g.SetMax(5) // lower: ignored
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+	h.Observe(5)
+	h.Observe(10) // boundary: inclusive upper bound
+	h.Observe(50)
+	h.Observe(1000) // overflow bucket
+
+	s := r.Snapshot()
+	hs, ok := s.Get("a.hist")
+	if !ok {
+		t.Fatal("histogram sample missing")
+	}
+	if hs.Value != 4 || hs.Sum != 1065 {
+		t.Fatalf("hist count/sum = %d/%d, want 4/1065", hs.Value, hs.Sum)
+	}
+	want := []Bucket{{10, 2}, {100, 1}, {math.MaxInt64, 1}}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestRegistrationIdempotent: re-registering a name returns the original
+// instance so independent subsystems can share a registry.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "", "")
+	b := r.Counter("x", "", "")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "", "")
+}
+
+// TestSnapshotDeterministicOrder pins the ISSUE-2 determinism contract:
+// sample order is sorted by name, independent of registration order.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("zz", "", "")
+	r1.Gauge("aa", "", "")
+	r1.Histogram("mm", "", "", []int64{1})
+
+	r2 := NewRegistry()
+	r2.Histogram("mm", "", "", []int64{1})
+	r2.Counter("zz", "", "")
+	r2.Gauge("aa", "", "")
+
+	names := func(s Snapshot) []string {
+		out := make([]string, len(s.Samples))
+		for i, sm := range s.Samples {
+			out[i] = sm.Name
+		}
+		return out
+	}
+	n1, n2 := names(r1.Snapshot()), names(r2.Snapshot())
+	want := []string{"aa", "mm", "zz"}
+	for i := range want {
+		if n1[i] != want[i] || n2[i] != want[i] {
+			t.Fatalf("order %v / %v, want %v", n1, n2, want)
+		}
+	}
+
+	var b1, b2 bytes.Buffer
+	if err := r1.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("snapshot JSON differs across registration orders")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", "")
+	g := r.Gauge("g", "", "")
+	h := r.Histogram("h", "", "", []int64{10})
+
+	c.Add(5)
+	g.Set(100)
+	h.Observe(3)
+	base := r.Snapshot()
+
+	c.Add(2)
+	g.Set(40)
+	h.Observe(30)
+	d := r.Snapshot().Diff(base)
+
+	if cs, _ := d.Get("c"); cs.Value != 2 {
+		t.Fatalf("counter diff = %d, want 2", cs.Value)
+	}
+	if gs, _ := d.Get("g"); gs.Value != 40 {
+		t.Fatalf("gauge diff keeps current value: got %d, want 40", gs.Value)
+	}
+	hs, _ := d.Get("h")
+	if hs.Value != 1 || hs.Sum != 30 || hs.Buckets[1].Count != 1 || hs.Buckets[0].Count != 0 {
+		t.Fatalf("hist diff = %+v, want 1 observation of 30 in the overflow bucket", hs)
+	}
+}
+
+// TestNilSafety: every mutator on a nil metric is a no-op — the
+// zero-cost-when-off contract instrumented packages rely on.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+}
+
+// TestDisabledPathZeroAlloc pins the alloc half of the zero-cost-when-off
+// guarantee: updates through nil metric pointers allocate nothing.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if a := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.SetMax(7)
+		h.Observe(3)
+	}); a != 0 {
+		t.Fatalf("disabled instrumentation allocates %.0f/op, want 0", a)
+	}
+}
+
+// TestEnabledPathZeroAlloc: even live updates are allocation-free; only
+// registration and snapshots allocate.
+func TestEnabledPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", "")
+	g := r.Gauge("g", "", "")
+	h := r.Histogram("h", "", "", []int64{10, 100, 1000})
+	if a := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.SetMax(9)
+		h.Observe(50)
+	}); a != 0 {
+		t.Fatalf("enabled instrumentation allocates %.0f/op, want 0", a)
+	}
+}
+
+// TestConcurrentUpdates exercises the registry under the race detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared", "", "")
+			g := r.Gauge("hwm", "", "")
+			h := r.Histogram("obs", "", "", []int64{5})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i % 10))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if cs, _ := s.Get("shared"); cs.Value != 8000 {
+		t.Fatalf("counter = %d, want 8000", cs.Value)
+	}
+	if gs, _ := s.Get("hwm"); gs.Value != 999 {
+		t.Fatalf("gauge = %d, want 999", gs.Value)
+	}
+}

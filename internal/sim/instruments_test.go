@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"rtmdm/internal/metrics"
+)
+
+// TestEngineInstruments verifies the kernel's metric accounting: scheduled =
+// fired + cancelled + still-pending, and the slab high-water mark equals the
+// peak number of simultaneously pending events.
+func TestEngineInstruments(t *testing.T) {
+	r := metrics.NewRegistry()
+	ins := &Instruments{
+		Scheduled:     r.Counter("sim.events_scheduled", "events", ""),
+		Fired:         r.Counter("sim.events_fired", "events", ""),
+		Cancelled:     r.Counter("sim.events_cancelled", "events", ""),
+		SlabHighWater: r.Gauge("sim.slab_high_water", "slots", ""),
+	}
+	e := NewEngine()
+	e.SetInstruments(ins)
+
+	// Three pending at once, one cancelled, one fired, two left pending.
+	var evs []Event
+	for i := 0; i < 3; i++ {
+		evs = append(evs, e.Schedule(Time(10*(i+1)), func() {}))
+	}
+	evs[1].Cancel()
+	e.Run(20)
+	e.Schedule(100, func() {}) // reuses a freed slot: slab must not grow
+
+	if got := ins.Scheduled.Value(); got != 4 {
+		t.Fatalf("scheduled = %d, want 4", got)
+	}
+	if got := ins.Fired.Value(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+	if got := ins.Cancelled.Value(); got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+	if got := ins.SlabHighWater.Value(); got != 3 {
+		t.Fatalf("slab high-water = %d, want 3", got)
+	}
+}
+
+// TestEngineInstrumentedStillZeroAlloc: attaching a sink must not cost the
+// kernel its allocation-free hot path.
+func TestEngineInstrumentedStillZeroAlloc(t *testing.T) {
+	r := metrics.NewRegistry()
+	e := NewEngine()
+	e.SetInstruments(&Instruments{
+		Scheduled:     r.Counter("s", "", ""),
+		Fired:         r.Counter("f", "", ""),
+		Cancelled:     r.Counter("c", "", ""),
+		SlabHighWater: r.Gauge("g", "", ""),
+	})
+	fn := func() {}
+	// Warm the slab so steady state needs no growth.
+	for i := 0; i < 64; i++ {
+		e.Schedule(e.Now(), fn)
+	}
+	e.RunAll(0)
+	if a := testing.AllocsPerRun(100, func() {
+		ev := e.Schedule(e.Now()+1, fn)
+		e.Schedule(e.Now()+2, fn)
+		ev.Cancel()
+		e.Run(e.Now() + 2)
+	}); a != 0 {
+		t.Fatalf("instrumented steady state allocates %.1f/op, want 0", a)
+	}
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto / Chrome Trace Event Format export.
+//
+// ExportJSON renders a trace in the JSON Trace Event Format that
+// ui.perfetto.dev and chrome://tracing load directly. The track layout:
+//
+//   - one "CPU" track carrying every segment compute as a complete (X)
+//     slice named "task#job seg k";
+//   - one "DMA" track carrying every non-zero parameter transfer as an X
+//     slice with the byte count in its args (zero-byte segments never
+//     occupy the channel and are omitted);
+//   - one track per task carrying its job lifetimes as async (b/e) spans
+//     keyed by job index — overlapping jobs of one task render side by
+//     side — plus instant (i) markers for releases and deadline misses.
+//
+// Timestamps are microseconds (the format's unit) with nanosecond
+// precision preserved in the fraction. Output is byte-deterministic for a
+// given trace: event order follows the trace, map-free structs serialize
+// with fixed field order, and args use a fixed-order struct. The golden
+// test in export_test.go pins the format.
+
+// tevPhase values used by the exporter.
+const (
+	phComplete   = "X"
+	phInstant    = "i"
+	phAsyncBegin = "b"
+	phAsyncEnd   = "e"
+	phMetadata   = "M"
+)
+
+// tevArgs is the fixed-order argument payload attached to slices.
+type tevArgs struct {
+	Task    string `json:"task,omitempty"`
+	Job     *int   `json:"job,omitempty"`
+	Segment *int   `json:"segment,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Name    string `json:"name,omitempty"` // metadata payload
+	Sort    *int   `json:"sort_index,omitempty"`
+}
+
+// tev is one Trace Event Format record.
+type tev struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Cat  string   `json:"cat,omitempty"`
+	ID   string   `json:"id,omitempty"`
+	S    string   `json:"s,omitempty"`
+	Args *tevArgs `json:"args,omitempty"`
+}
+
+// Track ids inside the single exported process.
+const (
+	exportPid  = 1
+	cpuTid     = 1
+	dmaTid     = 2
+	taskTidLo  = 10 // tasks occupy tid 10, 11, … in infos order
+	instScopeT = "t"
+)
+
+// usec converts virtual nanoseconds to the format's microsecond unit,
+// keeping sub-microsecond precision in the fraction.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ExportJSON writes tr in the Trace Event Format. infos supplies the task
+// universe (its order fixes per-task track placement); an event naming a
+// task absent from infos is an error, mirroring CheckInvariants.
+func ExportJSON(w io.Writer, tr *Trace, infos []TaskInfo) error {
+	tids := make(map[string]int, len(infos))
+	events := make([]tev, 0, len(tr.Events)+len(infos)+3)
+
+	meta := func(tid int, kind, payload string, sort int) {
+		s := sort
+		events = append(events, tev{
+			Name: kind, Ph: phMetadata, Pid: exportPid, Tid: tid,
+			Args: &tevArgs{Name: payload, Sort: &s},
+		})
+	}
+	meta(cpuTid, "process_name", "rtmdm", 0)
+	meta(cpuTid, "thread_name", "CPU", 1)
+	meta(dmaTid, "thread_name", "DMA", 2)
+	for i, ti := range infos {
+		if _, dup := tids[ti.Name]; dup {
+			return fmt.Errorf("trace: duplicate task %q in infos", ti.Name)
+		}
+		tids[ti.Name] = taskTidLo + i
+		meta(taskTidLo+i, "thread_name", "task "+ti.Name, taskTidLo+i)
+	}
+
+	type spanKey struct {
+		task string
+		job  int
+		seg  int
+	}
+	openCompute := map[spanKey]int64{}
+	openLoad := map[spanKey]int64{}
+
+	for _, e := range tr.Events {
+		tid, ok := tids[e.Task]
+		if !ok {
+			return fmt.Errorf("trace: event for unknown task %q (not in infos)", e.Task)
+		}
+		k := spanKey{e.Task, e.Job, e.Segment}
+		job := e.Job
+		seg := e.Segment
+		switch e.Kind {
+		case Release:
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d", e.Task, e.Job), Ph: phAsyncBegin,
+				Ts: usec(int64(e.At)), Pid: exportPid, Tid: tid,
+				Cat: "job", ID: fmt.Sprintf("%s#%d", e.Task, e.Job),
+			})
+			events = append(events, tev{
+				Name: "release", Ph: phInstant, Ts: usec(int64(e.At)),
+				Pid: exportPid, Tid: tid, S: instScopeT,
+				Args: &tevArgs{Task: e.Task, Job: &job},
+			})
+		case LoadStart:
+			if e.Bytes == 0 {
+				continue // instantaneous: no DMA occupancy, no slice
+			}
+			openLoad[k] = int64(e.At)
+		case LoadEnd:
+			if e.Bytes == 0 {
+				continue
+			}
+			start, ok := openLoad[k]
+			if !ok {
+				return fmt.Errorf("trace: load-end without load-start: %v", e)
+			}
+			delete(openLoad, k)
+			dur := usec(int64(e.At) - start)
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d seg%d", e.Task, e.Job, e.Segment),
+				Ph:   phComplete, Ts: usec(start), Dur: &dur,
+				Pid: exportPid, Tid: dmaTid, Cat: "load",
+				Args: &tevArgs{Task: e.Task, Job: &job, Segment: &seg, Bytes: e.Bytes},
+			})
+		case ComputeStart:
+			openCompute[k] = int64(e.At)
+		case ComputeEnd:
+			start, ok := openCompute[k]
+			if !ok {
+				return fmt.Errorf("trace: compute-end without compute-start: %v", e)
+			}
+			delete(openCompute, k)
+			dur := usec(int64(e.At) - start)
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d seg%d", e.Task, e.Job, e.Segment),
+				Ph:   phComplete, Ts: usec(start), Dur: &dur,
+				Pid: exportPid, Tid: cpuTid, Cat: "compute",
+				Args: &tevArgs{Task: e.Task, Job: &job, Segment: &seg},
+			})
+		case JobDone:
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d", e.Task, e.Job), Ph: phAsyncEnd,
+				Ts: usec(int64(e.At)), Pid: exportPid, Tid: tid,
+				Cat: "job", ID: fmt.Sprintf("%s#%d", e.Task, e.Job),
+			})
+		case DeadlineMiss:
+			events = append(events, tev{
+				Name: "deadline-miss", Ph: phInstant, Ts: usec(int64(e.At)),
+				Pid: exportPid, Tid: tid, S: instScopeT,
+				Args: &tevArgs{Task: e.Task, Job: &job},
+			})
+		}
+	}
+	// In-flight spans at the horizon stay open deliberately: Perfetto
+	// renders unfinished async spans, and truncating X slices at an
+	// arbitrary horizon would fabricate end times. Only fully recorded
+	// slices are emitted.
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(append([]byte("  "), b...), sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtmdm/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Trace Event Format golden file")
+
+// exportTrace builds a two-task trace exercising every exported shape:
+// compute and load slices, a zero-byte (omitted) load, overlapping job
+// spans across tasks, and a deadline miss.
+func exportTrace() (*Trace, []TaskInfo) {
+	tr := &Trace{}
+	add := func(at sim.Time, k Kind, task string, job, seg int, bytes int64) {
+		tr.Add(Event{At: at, Kind: k, Task: task, Job: job, Segment: seg, Bytes: bytes})
+	}
+	add(0, Release, "kws", 0, -1, 0)
+	add(0, Release, "det", 0, -1, 0)
+	add(0, LoadStart, "kws", 0, 0, 4096)
+	add(1000, LoadEnd, "kws", 0, 0, 4096)
+	add(1000, ComputeStart, "kws", 0, 0, 0)
+	add(1000, LoadStart, "kws", 0, 1, 0) // zero-byte: no DMA slice
+	add(1000, LoadEnd, "kws", 0, 1, 0)
+	add(3000, ComputeEnd, "kws", 0, 0, 0)
+	add(3000, ComputeStart, "kws", 0, 1, 0)
+	add(3000, LoadStart, "det", 0, 0, 8192)
+	add(5000, LoadEnd, "det", 0, 0, 8192)
+	add(6000, ComputeEnd, "kws", 0, 1, 0)
+	add(6000, JobDone, "kws", 0, -1, 0)
+	add(6000, ComputeStart, "det", 0, 0, 0)
+	add(9000, ComputeEnd, "det", 0, 0, 0)
+	add(10000, DeadlineMiss, "det", 0, -1, 0)
+	infos := []TaskInfo{
+		{Name: "kws", Period: 20000, Deadline: 20000, Segments: 2},
+		{Name: "det", Period: 10000, Deadline: 10000, Segments: 2},
+	}
+	return tr, infos
+}
+
+// TestExportJSONGolden pins the exporter's byte-level output so the format
+// stays stable for downstream tooling. Refresh deliberately with
+// go test ./internal/trace -run ExportJSONGolden -update-golden.
+func TestExportJSONGolden(t *testing.T) {
+	tr, infos := exportTrace()
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, tr, infos); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "export_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export drifted from golden file %s:\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestExportJSONValid decodes the export as generic JSON and checks the
+// Trace Event Format contract: the envelope keys, phase-specific required
+// fields, and the track layout documented in export.go.
+func TestExportJSONValid(t *testing.T) {
+	tr, infos := exportTrace()
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, tr, infos); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	var computes, loads, instants, begins, ends int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+			switch int(ev["tid"].(float64)) {
+			case cpuTid:
+				computes++
+			case dmaTid:
+				loads++
+			default:
+				t.Fatalf("X event on unexpected track: %v", ev)
+			}
+		case "i":
+			instants++
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	// 3 compute slices, 2 non-zero loads (the zero-byte one omitted),
+	// 2 releases + 1 miss, 2 job begins, 1 job end (det unfinished).
+	if computes != 3 || loads != 2 || instants != 3 || begins != 2 || ends != 1 {
+		t.Fatalf("event census = X-cpu %d, X-dma %d, i %d, b %d, e %d; want 3,2,3,2,1",
+			computes, loads, instants, begins, ends)
+	}
+}
+
+// TestExportJSONUnknownTask mirrors CheckInvariants: an event for a task
+// absent from infos is an error, not a silent drop.
+func TestExportJSONUnknownTask(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{At: 0, Kind: Release, Task: "ghost", Job: 0, Segment: -1})
+	if err := ExportJSON(&bytes.Buffer{}, tr, []TaskInfo{{Name: "a", Segments: 1}}); err == nil {
+		t.Fatal("expected an error for an event naming an unknown task")
+	}
+}

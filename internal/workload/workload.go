@@ -9,15 +9,46 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/models"
 	"rtmdm/internal/nn"
 	"rtmdm/internal/segment"
 	"rtmdm/internal/sim"
 	"rtmdm/internal/task"
 )
+
+// cacheIns carries hit/miss counters for the memoized generation pipeline
+// (nil metrics when instrumentation is off, making every update a no-op).
+type cacheIns struct {
+	modelHits, modelMisses *metrics.Counter
+	planHits, planMisses   *metrics.Counter
+	specHits, specMisses   *metrics.Counter
+}
+
+var instr atomic.Pointer[cacheIns]
+
+func init() { instr.Store(&cacheIns{}) }
+
+// Instrument wires the generation caches to the registry; Instrument(nil)
+// disables instrumentation again.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instr.Store(&cacheIns{})
+		return
+	}
+	instr.Store(&cacheIns{
+		modelHits:   r.Counter("workload.model_cache_hits", "lookups", "zoo models served from cache"),
+		modelMisses: r.Counter("workload.model_cache_misses", "lookups", "zoo models built from scratch"),
+		planHits:    r.Counter("workload.plan_cache_hits", "lookups", "segmentation plans served from cache"),
+		planMisses:  r.Counter("workload.plan_cache_misses", "lookups", "segmentation plans built from scratch"),
+		specHits:    r.Counter("workload.spec_cache_hits", "lookups", "generated specs served from cache"),
+		specMisses:  r.Counter("workload.spec_cache_misses", "lookups", "generated specs drawn from scratch"),
+	})
+}
 
 // UUniFast draws n utilization shares summing to total, uniformly over the
 // valid simplex (Bini & Buttazzo).
@@ -95,8 +126,10 @@ var modelCache sync.Map // "name/seed" → *nn.Model
 func cachedModel(name string, seed int64) (*nn.Model, error) {
 	key := fmt.Sprintf("%s/%d", name, seed)
 	if m, ok := modelCache.Load(key); ok {
+		instr.Load().modelHits.Add(1)
 		return m.(*nn.Model), nil
 	}
+	instr.Load().modelMisses.Add(1)
 	m, err := models.Build(name, seed)
 	if err != nil {
 		return nil, err
@@ -116,8 +149,10 @@ var planCache sync.Map // model/seed/limits/platform-fingerprint → *segment.Pl
 func cachedPlan(name string, seed int64, plat cost.Platform, lim segment.Limits) (*segment.Plan, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d|%s", name, seed, lim.Bytes, lim.ComputeNs, plat.Fingerprint())
 	if pl, ok := planCache.Load(key); ok {
+		instr.Load().planHits.Add(1)
 		return pl.(*segment.Plan), nil
 	}
+	instr.Load().planMisses.Add(1)
 	m, err := cachedModel(name, seed)
 	if err != nil {
 		return nil, err
@@ -177,8 +212,10 @@ var specCache sync.Map // Params fingerprint → SetSpec
 func Generate(p Params) (SetSpec, error) {
 	key := fmt.Sprintf("%+v", p)
 	if sp, ok := specCache.Load(key); ok {
+		instr.Load().specHits.Add(1)
 		return sp.(SetSpec), nil
 	}
+	instr.Load().specMisses.Add(1)
 	sp, err := generate(p)
 	if err != nil {
 		return SetSpec{}, err
