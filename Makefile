@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race bench golden
+.PHONY: verify vet race fuzz bench golden
 
 # Tier-1: build + full test suite.
 verify:
@@ -17,7 +17,13 @@ vet:
 
 # Race tier: vet plus the race detector on the concurrent packages.
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec
+
+# Fuzz smoke: a short coverage-guided run of the scenario parser/builder
+# (the fuzz engine takes one -fuzz target at a time; FuzzParse also drives
+# Build and FaultPlan on every accepted input).
+fuzz:
+	$(GO) test -run='^FuzzParse$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/scenario
 
 # The load-bearing benchmarks (compare with benchstat; -count=5 minimum).
 bench:

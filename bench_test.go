@@ -285,3 +285,7 @@ func BenchmarkExpT23DesignSpace(b *testing.B) {
 func BenchmarkExpT24PerTaskDepth(b *testing.B) {
 	runExperiment(b, "T24")
 }
+
+func BenchmarkExpT25Robustness(b *testing.B) {
+	runExperiment(b, "T25")
+}

@@ -14,10 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,6 +83,7 @@ func main() {
 	stopTicker := func() {}
 	if *progress {
 		knobs.Progress, stopTicker = progressTicker(os.Stderr)
+		defer stopTicker() // idempotent; covers panics in Explore
 	}
 	res, err := dse.Explore(spec, plat, knobs)
 	stopTicker()
@@ -120,14 +123,18 @@ func main() {
 }
 
 // progressTicker returns a dse.Knobs.Progress callback plus a stop
-// function. A background goroutine rewrites one stderr line every 500 ms
-// with done/total, the completion rate and an ETA extrapolated from it;
-// stop prints the final tally. The callback only stores atomics, so the
-// sweep workers never block on terminal output.
-func progressTicker(w *os.File) (func(done, total int), func()) {
+// function. A background goroutine rewrites one w line every 500 ms with
+// done/total, the completion rate and an ETA extrapolated from it; stop
+// joins the goroutine and prints the final tally. The callback only stores
+// atomics, so the sweep workers never block on terminal output. Stop is
+// idempotent — every return path (including fatal ones) may call it — and
+// only returns once the goroutine has exited, so no tick can race a later
+// write to w.
+func progressTicker(w io.Writer) (func(done, total int), func()) {
 	var done, total atomic.Int64
 	start := time.Now()
 	quit := make(chan struct{})
+	finished := make(chan struct{})
 	tick := time.NewTicker(500 * time.Millisecond)
 	report := func(final bool) {
 		d, n := done.Load(), total.Load()
@@ -147,6 +154,7 @@ func progressTicker(w *os.File) (func(done, total int), func()) {
 		fmt.Fprintf(w, "\rdse: %d/%d points (%.0f points/sec, ETA %s) ", d, n, rate, eta)
 	}
 	go func() {
+		defer close(finished)
 		for {
 			select {
 			case <-quit:
@@ -160,10 +168,14 @@ func progressTicker(w *os.File) (func(done, total int), func()) {
 		done.Store(int64(d))
 		total.Store(int64(n))
 	}
+	var once sync.Once
 	stop := func() {
-		tick.Stop()
-		close(quit)
-		report(true)
+		once.Do(func() {
+			tick.Stop()
+			close(quit)
+			<-finished
+			report(true)
+		})
 	}
 	return cb, stop
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stopJoinWriter proves the ticker goroutine has exited before stop
+// returns: every write after join is flagged as a race survivor.
+type stopJoinWriter struct {
+	mu     sync.Mutex
+	sb     strings.Builder
+	joined bool
+	late   bool
+	writes int
+}
+
+func (w *stopJoinWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.joined {
+		w.late = true
+	}
+	w.writes++
+	return w.sb.Write(p)
+}
+
+func (w *stopJoinWriter) markJoined() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.joined = true
+}
+
+// TestProgressTickerStopJoinsAndIsIdempotent is the regression test for the
+// ticker leak: stop must wait for the reporting goroutine (no write can land
+// after stop returns) and must be safe to call from every return path,
+// including twice (explicit call + deferred cleanup).
+func TestProgressTickerStopJoinsAndIsIdempotent(t *testing.T) {
+	w := &stopJoinWriter{}
+	cb, stop := progressTicker(w)
+	cb(3, 7)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stop()
+		w.markJoined()
+		stop() // second call: deferred cleanup after the explicit one
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not return — ticker goroutine not joined")
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.late {
+		t.Fatal("ticker goroutine wrote after stop returned")
+	}
+	out := w.sb.String()
+	if n := strings.Count(out, "points in"); n != 1 {
+		t.Fatalf("final tally printed %d times, want 1:\n%q", n, out)
+	}
+	if !strings.Contains(out, "3/7") {
+		t.Fatalf("final tally missing progress counts:\n%q", out)
+	}
+}
+
+// TestProgressTickerSilentBeforeFirstCallback pins the zero-total guard:
+// stopping a ticker that never saw progress must not print a bogus "0/0"
+// tally (the early-error path in main).
+func TestProgressTickerSilentBeforeFirstCallback(t *testing.T) {
+	w := &stopJoinWriter{}
+	_, stop := progressTicker(w)
+	stop()
+	stop()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.writes != 0 {
+		t.Fatalf("ticker wrote %d times with no progress reported:\n%q", w.writes, w.sb.String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
 	"rtmdm/internal/exec"
+	"rtmdm/internal/fault"
 	"rtmdm/internal/metrics"
 	"rtmdm/internal/scenario"
 	"rtmdm/internal/sim"
@@ -45,6 +46,9 @@ func main() {
 		showMetric = flag.Bool("metrics", false, "dump the run-level metrics snapshot as JSON")
 		timeline   = flag.Bool("timeline", false, "render an ASCII Gantt timeline")
 		tlWidth    = flag.Int("timeline-width", 120, "timeline width in columns")
+		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g. \"overrun=0.2,factor=2,xfer=0.01\" (overrides the scenario stanza)")
+		faultSeed  = flag.Int64("fault-seed", 0, "override the fault-injection seed (0 keeps the spec's)")
+		overrun    = flag.String("overrun", "", "overrun handling: continue, abort, or skip-next (overrides policy/scenario)")
 	)
 	flag.Parse()
 
@@ -56,11 +60,12 @@ func main() {
 	}
 
 	var (
-		set     *task.Set
-		plat    cost.Platform
-		pol     core.Policy
-		horizon sim.Duration
-		err     error
+		set      *task.Set
+		plat     cost.Platform
+		pol      core.Policy
+		horizon  sim.Duration
+		faultCfg *fault.Config
+		err      error
 	)
 	switch {
 	case *configPath != "":
@@ -73,6 +78,10 @@ func main() {
 			fatal(err)
 		}
 		horizon = sc.Horizon()
+		if sc.Faults != nil {
+			cfg := sc.Faults.Config
+			faultCfg = &cfg
+		}
 	case *taskSpec != "":
 		specs, err2 := scenario.ParseTaskList(*taskSpec, *seed)
 		if err2 != nil {
@@ -97,7 +106,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faultCfg = &cfg
+	}
+	var plan *fault.Plan
+	if faultCfg != nil {
+		if *faultSeed != 0 {
+			faultCfg.Seed = *faultSeed
+		}
+		if plan, err = fault.New(*faultCfg, horizon); err != nil {
+			fatal(err)
+		}
+	}
+	if *overrun != "" {
+		op, err := core.ParseOverrunPolicy(*overrun)
+		if err != nil {
+			fatal(err)
+		}
+		pol.Overrun = op
+	}
+
 	fmt.Printf("platform %s, policy %s, horizon %v\n", plat.Name, pol.Name, horizon)
+	if plan != nil {
+		fmt.Printf("fault injection active (seed %d, overrun handling %s)\n", faultCfg.Seed, pol.Overrun)
+	}
 	fmt.Printf("reference utilization: cpu %.3f, dma %.3f, serial %.3f\n\n",
 		set.CPUUtilization(), set.DMAUtilization(), set.SerialUtilization())
 
@@ -122,7 +158,7 @@ func main() {
 		reg = metrics.NewRegistry()
 		exec.Instrument(reg)
 	}
-	r, err := exec.Run(set, plat, pol, horizon)
+	r, err := exec.RunWithFaults(set, plat, pol, horizon, plan)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,6 +167,10 @@ func main() {
 		100*r.CPUUtilization(), 100*r.DMAUtilization(), r.SRAMPeak)
 	fmt.Printf("  flash read %.1f KiB, energy %.2f mJ, avg power %.1f mW\n",
 		float64(r.FlashBytes)/1024, r.EnergyMicroJ/1000, r.AvgPowerMw)
+	if plan != nil {
+		fmt.Printf("  faults injected %d, jobs aborted %d, dma retries %d, releases suppressed %d\n",
+			r.FaultsInjected, r.JobsAborted, r.DMARetries, r.ReleasesSuppressed)
+	}
 	for _, t := range set.ByPriority() {
 		tm := r.Metrics.PerTask[t.Name]
 		fmt.Printf("  %-24s jobs %3d/%3d  max %-12v p95 %-12v avg %-12v miss %.1f%%\n",

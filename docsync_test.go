@@ -63,6 +63,23 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 	}
 }
 
+// TestRobustnessDocNamesExist keeps docs/ROBUSTNESS.md honest in one
+// direction: every metric it mentions must exist in the registry (the
+// catalogue itself lives in OBSERVABILITY.md, so full coverage is not
+// required here).
+func TestRobustnessDocNamesExist(t *testing.T) {
+	doc, err := os.ReadFile("docs/ROBUSTNESS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := allMetricNames()
+	for _, m := range metricName.FindAllStringSubmatch(string(doc), -1) {
+		if !registered[m[1]] {
+			t.Errorf("docs/ROBUSTNESS.md names %q, which is not in the registry", m[1])
+		}
+	}
+}
+
 // TestDisabledInstrumentationAllocFree pins the zero-overhead-when-disabled
 // guarantee at the top of the stack: instrumenting the process and then
 // disabling it again must leave a full case-study simulation with exactly

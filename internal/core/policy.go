@@ -47,6 +47,47 @@ func (d DMAOrder) String() string {
 	return "priority"
 }
 
+// OverrunPolicy selects what the executor does when a job misses its
+// deadline (which, under fault injection, is how compute overruns surface).
+type OverrunPolicy int
+
+const (
+	// OverrunContinue lets the late job keep running to completion — the
+	// historical behavior. The miss is recorded; nothing else changes.
+	OverrunContinue OverrunPolicy = iota
+	// OverrunAbort kills the job at its deadline: the CPU and DMA channel
+	// are reclaimed immediately and every staging buffer the job holds is
+	// released.
+	OverrunAbort
+	// OverrunSkipNext lets the late job finish but suppresses the task's
+	// next release, shedding load so the backlog cannot build up.
+	OverrunSkipNext
+)
+
+func (o OverrunPolicy) String() string {
+	switch o {
+	case OverrunAbort:
+		return "abort"
+	case OverrunSkipNext:
+		return "skip-next"
+	default:
+		return "continue"
+	}
+}
+
+// ParseOverrunPolicy resolves "continue", "abort", or "skip-next".
+func ParseOverrunPolicy(name string) (OverrunPolicy, error) {
+	switch name {
+	case "continue", "":
+		return OverrunContinue, nil
+	case "abort":
+		return OverrunAbort, nil
+	case "skip-next":
+		return OverrunSkipNext, nil
+	}
+	return 0, fmt.Errorf("core: unknown overrun policy %q (try continue, abort, skip-next)", name)
+}
+
 // Policy is a point in the scheduling design space. The named constructors
 // below produce the configurations compared in the evaluation.
 type Policy struct {
@@ -82,6 +123,9 @@ type Policy struct {
 	// Missing or zero entries fall back to Depth. Only meaningful for
 	// cross-job prefetching policies.
 	TaskDepth map[string]int
+	// Overrun selects the deadline-miss handling discipline (robustness
+	// testbed): continue (default), abort, or skip-next.
+	Overrun OverrunPolicy
 }
 
 // DepthFor returns the prefetch window depth for a named task: its
@@ -141,6 +185,9 @@ func (p Policy) Validate() error {
 		if d < 1 {
 			return fmt.Errorf("core: policy %s: task %s depth %d < 1", p.Name, name, d)
 		}
+	}
+	if p.Overrun < OverrunContinue || p.Overrun > OverrunSkipNext {
+		return fmt.Errorf("core: policy %s: unknown overrun policy %d", p.Name, p.Overrun)
 	}
 	return nil
 }

@@ -7,12 +7,14 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
+	"rtmdm/internal/fault"
 	"rtmdm/internal/metrics"
 	"rtmdm/internal/platform"
 	"rtmdm/internal/segment"
@@ -35,6 +37,10 @@ type instruments struct {
 	flashBytes     *metrics.Counter
 	sramPeak       *metrics.Gauge
 	jobResponse    *metrics.Histogram
+	faultsInjected *metrics.Counter
+	jobsAborted    *metrics.Counter
+	dmaRetries     *metrics.Counter
+	releasesSupp   *metrics.Counter
 	sim            *sim.Instruments
 }
 
@@ -67,6 +73,10 @@ func Instrument(r *metrics.Registry) {
 		jobResponse: r.Histogram("exec.job_response_ns", "ns",
 			"response times of completed jobs",
 			[]int64{1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8}),
+		faultsInjected: r.Counter("exec.faults_injected", "faults", "injected fault events (overruns, release delays, DMA slowdown hits, transfer faults)"),
+		jobsAborted:    r.Counter("exec.jobs_aborted", "jobs", "jobs killed at their deadline under the abort overrun policy"),
+		dmaRetries:     r.Counter("exec.dma_retries", "transfers", "chunk transfers re-issued after an injected transient fault"),
+		releasesSupp:   r.Counter("exec.releases_suppressed", "jobs", "job releases shed by the skip-next overrun policy"),
 		sim: &sim.Instruments{
 			Scheduled:     r.Counter("sim.events_scheduled", "events", "events entering the kernel queue"),
 			Fired:         r.Counter("sim.events_fired", "events", "events whose callback executed"),
@@ -98,6 +108,20 @@ type Result struct {
 	EnergyMicroJ float64
 	// AvgPowerMw is EnergyMicroJ over the horizon.
 	AvgPowerMw float64
+	// FaultsInjected counts fault events the run's fault plan injected
+	// (compute overruns, release delays, DMA slowdown hits, transfer
+	// faults). Zero without a plan.
+	FaultsInjected int64
+	// JobsAborted counts jobs killed at their deadline (OverrunAbort).
+	JobsAborted int64
+	// DMARetries counts chunk transfers re-issued after an injected
+	// transient transfer fault.
+	DMARetries int64
+	// ReleasesSuppressed counts job releases shed by OverrunSkipNext.
+	ReleasesSuppressed int64
+	// SRAMResidual is the staged parameter bytes still held at the horizon
+	// (in-flight jobs only; aborted jobs must have released everything).
+	SRAMResidual int64
 }
 
 // CPUUtilization is the fraction of the horizon the CPU computed.
@@ -139,6 +163,13 @@ type job struct {
 	segLoaded int64
 	heldBytes int64
 	done      bool
+	aborted   bool
+	// attempt counts transfer-fault retries of the current chunk; xfer and
+	// retryEv track the in-flight (or queued) transfer and the armed backoff
+	// so an abort can revoke them.
+	attempt int
+	xfer    *platform.Transfer
+	retryEv sim.Event
 }
 
 func (j *job) name() string    { return j.rt.t.Name }
@@ -154,6 +185,9 @@ type rtask struct {
 	// head executes (jobs of one task are processed FIFO).
 	pending []*job
 	nextIdx int
+	// suppress counts future releases to shed (OverrunSkipNext): each
+	// deadline miss of this task suppresses one upcoming release.
+	suppress int
 }
 
 func (rt *rtask) head() *job {
@@ -194,12 +228,49 @@ type runner struct {
 	// ins is the process-wide metrics sink, loaded once per run (never
 	// nil; the zero struct's nil metrics discard updates).
 	ins *instruments
+	// plan is the run's fault-injection schedule (nil = nominal run; every
+	// plan method is nil-safe and injects nothing).
+	plan *fault.Plan
+	// Per-run fault accounting, surfaced on the Result.
+	faultsInjected     int64
+	jobsAborted        int64
+	dmaRetries         int64
+	releasesSuppressed int64
+}
+
+// noteFault records one injected fault event.
+func (r *runner) noteFault() {
+	r.faultsInjected++
+	r.ins.faultsInjected.Add(1)
+}
+
+// InternalError wraps a panic recovered at the executor's public boundary:
+// a malformed input (e.g. a hand-built plan with negative costs) drove the
+// platform layer into an invariant panic. Callers get a structured error
+// instead of a crash; the stack pinpoints the violated invariant.
+type InternalError struct {
+	Panic any
+	Stack string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("exec: internal error: %v", e.Panic)
 }
 
 // Run simulates the task set on the platform under the policy until the
 // horizon. The returned result carries the full trace; Run also verifies
 // the trace invariants before returning.
 func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration) (*Result, error) {
+	return RunWithFaults(set, plat, pol, horizon, nil)
+}
+
+// RunWithFaults is Run under a fault-injection plan (nil = nominal: the
+// run is byte-identical to Run). The plan perturbs timing — compute
+// overruns, release delays, DMA slowdowns, transfer retries — while
+// pol.Overrun selects what happens to jobs that consequently miss their
+// deadlines. Platform-layer invariant panics are converted to an
+// *InternalError rather than crashing the caller.
+func RunWithFaults(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration, plan *fault.Plan) (res *Result, err error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,6 +283,11 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	if horizon <= 0 {
 		return nil, fmt.Errorf("exec: non-positive horizon %v", horizon)
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, &InternalError{Panic: rec, Stack: string(debug.Stack())}
+		}
+	}()
 	eng := enginePool.Get().(*sim.Engine)
 	eng.Reset()
 	defer enginePool.Put(eng)
@@ -225,6 +301,16 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 		tr:      &trace.Trace{},
 		horizon: horizon,
 		ins:     ins,
+		plan:    plan,
+	}
+	if plan != nil {
+		dma.SetDerate(func(at sim.Time, workNs int64) int64 {
+			scaled := plan.DMADerateNs(at, workNs)
+			if scaled != workNs {
+				r.noteFault()
+			}
+			return scaled
+		})
 	}
 	for _, t := range set.Tasks {
 		rt := &rtask{t: t}
@@ -240,7 +326,7 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	for _, t := range set.Tasks {
 		infos = append(infos, trace.TaskInfo{
 			Name: t.Name, Period: t.Period, Deadline: t.Deadline,
-			Offset: t.Offset, Jitter: t.Jitter, Segments: t.NumSegments(),
+			Offset: t.Offset, Jitter: r.effJitter(t), Segments: t.NumSegments(),
 		})
 	}
 	if err := r.tr.CheckInvariants(infos); err != nil {
@@ -253,18 +339,34 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	ins.sramPeak.SetMax(r.sram.Peak())
 	energy := plat.Energy.EnergyMicroJ(int64(horizon), cpu.BusyNs, dma.BusyNs, r.flashBytes)
 	return &Result{
-		Trace:          r.tr,
-		Metrics:        r.tr.Analyze(infos, horizon),
-		Infos:          infos,
-		Horizon:        horizon,
-		CPUBusyNs:      cpu.BusyNs,
-		DMABusyNs:      dma.BusyNs,
-		SRAMPeak:       r.sram.Peak(),
-		ActivationPeak: r.actPeak,
-		FlashBytes:     r.flashBytes,
-		EnergyMicroJ:   energy,
-		AvgPowerMw:     energy / 1000 / (float64(horizon) / 1e9),
+		Trace:              r.tr,
+		Metrics:            r.tr.Analyze(infos, horizon),
+		Infos:              infos,
+		Horizon:            horizon,
+		CPUBusyNs:          cpu.BusyNs,
+		DMABusyNs:          dma.BusyNs,
+		SRAMPeak:           r.sram.Peak(),
+		ActivationPeak:     r.actPeak,
+		FlashBytes:         r.flashBytes,
+		EnergyMicroJ:       energy,
+		AvgPowerMw:         energy / 1000 / (float64(horizon) / 1e9),
+		FaultsInjected:     r.faultsInjected,
+		JobsAborted:        r.jobsAborted,
+		DMARetries:         r.dmaRetries,
+		ReleasesSuppressed: r.releasesSuppressed,
+		SRAMResidual:       r.sram.Used(),
 	}, nil
+}
+
+// effJitter is a task's effective release window: its configured jitter
+// plus the plan's worst-case injected delay, clamped below the period so
+// releases stay ordered. Without a plan it equals t.Jitter.
+func (r *runner) effJitter(t *task.Task) sim.Duration {
+	j := t.Jitter + r.plan.MaxReleaseDelay()
+	if j >= t.Period {
+		j = t.Period - 1
+	}
+	return j
 }
 
 func (r *runner) emit(k trace.Kind, j *job, seg int, bytes int64) {
@@ -274,12 +376,21 @@ func (r *runner) emit(k trace.Kind, j *job, seg int, bytes int64) {
 }
 
 // scheduleRelease arms job k's arrival: nominal grid point plus a
-// deterministic pseudo-random delay within the task's jitter bound.
+// deterministic pseudo-random delay within the task's jitter bound, plus
+// any sporadic delay the fault plan injects (clamped to the effective
+// jitter window so release order and the trace invariants hold).
 func (r *runner) scheduleRelease(rt *rtask, k int) {
 	nominal := rt.t.Offset + sim.Duration(k)*rt.t.Period
-	at := nominal + releaseJitter(rt.t.Name, k, rt.t.Jitter)
 	if nominal >= r.horizon {
 		return
+	}
+	at := nominal + releaseJitter(rt.t.Name, k, rt.t.Jitter)
+	if d := r.plan.ReleaseDelay(rt.t.Name, k); d > 0 {
+		r.noteFault()
+		at += d
+		if lim := nominal + r.effJitter(rt.t); at > lim {
+			at = lim
+		}
 	}
 	r.eng.Schedule(at, func() { r.release(rt) })
 }
@@ -305,7 +416,17 @@ func releaseJitter(name string, k int, max sim.Duration) sim.Duration {
 }
 
 // release creates the next job of rt and schedules the following release.
+// Under OverrunSkipNext a pending suppression (earned by a deadline miss)
+// consumes this arrival instead: no job is created, no Release is traced.
 func (r *runner) release(rt *rtask) {
+	if rt.suppress > 0 {
+		rt.suppress--
+		rt.nextIdx++
+		r.releasesSuppressed++
+		r.ins.releasesSupp.Add(1)
+		r.scheduleRelease(rt, rt.nextIdx)
+		return
+	}
 	j := &job{
 		rt:          rt,
 		idx:         rt.nextIdx,
@@ -323,14 +444,69 @@ func (r *runner) release(rt *rtask) {
 		// numbers) is processed first and does not count as a miss.
 		r.eng.Schedule(j.absDeadline, func() {
 			r.eng.Schedule(r.eng.Now(), func() {
-				if !j.done {
-					r.ins.deadlineMisses.Add(1)
-					r.emit(trace.DeadlineMiss, j, -1, 0)
+				if j.done {
+					return
+				}
+				r.ins.deadlineMisses.Add(1)
+				r.emit(trace.DeadlineMiss, j, -1, 0)
+				switch r.pol.Overrun {
+				case core.OverrunAbort:
+					r.abort(j)
+				case core.OverrunSkipNext:
+					rt.suppress++
 				}
 			})
 		})
 	}
 	r.scheduleRelease(rt, rt.nextIdx)
+	r.kick()
+}
+
+// abort kills job j at its deadline (core.OverrunAbort): the CPU and the
+// DMA channel are reclaimed if j occupies them, the armed retry (if any) is
+// revoked, every staging buffer the job holds is released, and the job
+// leaves its task's pending queue. Exactly one Abort event is traced; all
+// of the job's callbacks are keyed on the activities and events cancelled
+// here, so nothing of it can fire afterwards.
+func (r *runner) abort(j *job) {
+	if j.done || j.aborted {
+		return
+	}
+	j.aborted = true
+	j.done = true
+	// The Abort event goes first: it closes the job's open compute/load
+	// intervals in the trace, and reclaiming the DMA below may immediately
+	// start another job's queued transfer at this same instant.
+	r.jobsAborted++
+	r.ins.jobsAborted.Add(1)
+	r.emit(trace.Abort, j, -1, 0)
+	if r.locked == j {
+		r.locked = nil
+	}
+	for i, p := range j.rt.pending {
+		if p == j {
+			j.rt.pending = append(j.rt.pending[:i], j.rt.pending[i+1:]...)
+			break
+		}
+	}
+	if r.running == j {
+		r.cpu.Abort()
+		r.running = nil
+	}
+	j.retryEv.Cancel()
+	j.retryEv = sim.Event{}
+	j.loading = false
+	if j.heldBytes > 0 {
+		r.sram.Release(j.heldBytes)
+		j.heldBytes = 0
+	}
+	if j.xfer != nil {
+		x := j.xfer
+		j.xfer = nil
+		if !r.dma.Cancel(x) && r.dma.Current() == x {
+			r.dma.Abort()
+		}
+	}
 	r.kick()
 }
 
@@ -516,25 +692,54 @@ func (r *runner) tryDMA() {
 			// the channel at the chunk boundary.
 			bytes = c
 		}
-		j.loading = true
-		r.flashBytes += bytes
-		r.emit(trace.LoadStart, j, seg.Index, bytes)
-		r.dma.Submit(&platform.Transfer{
-			Bytes:    bytes,
-			Priority: j.priority(),
-			OnDone: func() {
-				r.emit(trace.LoadEnd, j, seg.Index, bytes)
-				j.loading = false
-				j.segLoaded += bytes
-				if j.segLoaded >= seg.LoadBytes {
-					j.segLoaded = 0
-					j.nextLoad++
-				}
-				r.kick()
-			},
-		})
+		r.issueChunk(j, seg, bytes)
 		return
 	}
+}
+
+// issueChunk submits one parameter-chunk transfer for j's segment seg and
+// handles its completion. Under a fault plan the chunk may be lost to a
+// transient transfer fault: the channel was occupied for the full duration
+// but nothing staged, so the chunk is re-issued after an exponential
+// backoff, up to the plan's retry budget. Retried submissions may queue
+// behind other jobs' transfers, so the LoadStart trace event (and the flash
+// read) is tied to channel occupancy (OnStart), not submission.
+func (r *runner) issueChunk(j *job, seg segment.Segment, bytes int64) {
+	j.loading = true
+	t := &platform.Transfer{
+		Bytes:    bytes,
+		Priority: j.priority(),
+	}
+	t.OnStart = func() {
+		r.flashBytes += bytes
+		r.emit(trace.LoadStart, j, seg.Index, bytes)
+	}
+	t.OnDone = func() {
+		j.xfer = nil
+		if r.plan.TransferFaulty(j.name(), j.idx, seg.Index, j.segLoaded, j.attempt) {
+			j.attempt++
+			r.dmaRetries++
+			r.ins.dmaRetries.Add(1)
+			r.noteFault()
+			r.emit(trace.DMARetry, j, seg.Index, bytes)
+			j.retryEv = r.eng.After(r.plan.RetryBackoffNs(j.attempt), func() {
+				j.retryEv = sim.Event{}
+				r.issueChunk(j, seg, bytes)
+			})
+			return
+		}
+		j.attempt = 0
+		r.emit(trace.LoadEnd, j, seg.Index, bytes)
+		j.loading = false
+		j.segLoaded += bytes
+		if j.segLoaded >= seg.LoadBytes {
+			j.segLoaded = 0
+			j.nextLoad++
+		}
+		r.kick()
+	}
+	j.xfer = t
+	r.dma.Submit(t)
 }
 
 // tryCPU dispatches the most urgent staged segment if the CPU is idle.
@@ -560,6 +765,13 @@ func (r *runner) tryCPU() {
 		r.locked = j
 	}
 	work := seg.ComputeNs
+	if extra := r.plan.OverrunExtraNs(j.name(), j.idx, seg.Index, seg.ComputeNs); extra > 0 {
+		// Injected WCET exceedance: the segment computes longer than its
+		// modeled cost. Traced before ComputeStart, extra ns in Bytes.
+		work += extra
+		r.noteFault()
+		r.emit(trace.Overrun, j, seg.Index, extra)
+	}
 	if r.lastRan != j {
 		work += r.plat.CPU.SwitchNs
 		r.ins.ctxSwitches.Add(1)

@@ -11,7 +11,7 @@ import (
 )
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
-	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "T8", "T9", "F10", "T11", "F12", "F13", "T13", "T15", "T16", "T17", "T18", "F19", "F20", "T21", "T22", "T23", "T24"}
+	want := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "T8", "T9", "F10", "T11", "F12", "F13", "T13", "T15", "T16", "T17", "T18", "F19", "F20", "T21", "T22", "T23", "T24", "T25"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -338,6 +338,37 @@ func TestT17EnergyNeutral(t *testing.T) {
 		if e < 0.98*e0 || e > 1.02*e0 {
 			t.Errorf("%s: energy %v vs %v (not neutral)", row[0], e, e0)
 		}
+	}
+}
+
+// T25: injected overruns must hurt — every configuration's miss ratio is
+// nondecreasing in the overrun rate (modest sampling slack) — and at rate 0
+// the fault path must be inert: the rt-mdm columns agree exactly with each
+// other, since no overrun ever fires to differentiate the handling policies.
+func TestT25OverrunsDegradeMonotonically(t *testing.T) {
+	tb := mustRun(t, "T25")
+	if len(tb.Rows) != len(overrunRates) {
+		t.Fatalf("T25 rows = %d, want %d", len(tb.Rows), len(overrunRates))
+	}
+	for c := 1; c < len(tb.Columns); c++ {
+		prev := -1e9
+		for _, row := range tb.Rows {
+			v := percentage(t, row[c])
+			if v < prev-10 { // quick-scale slack
+				t.Errorf("%s: miss ratio fell with overrun rate: %v%% after %v%%", tb.Columns[c], v, prev)
+			}
+			prev = v
+		}
+		first := percentage(t, tb.Rows[0][c])
+		last := percentage(t, tb.Rows[len(tb.Rows)-1][c])
+		if last < first {
+			t.Errorf("%s: 100%% overruns (%v%%) miss less than none (%v%%)", tb.Columns[c], last, first)
+		}
+	}
+	// Rate 0: the three rt-mdm handling policies are indistinguishable.
+	zero := tb.Rows[0]
+	if zero[3] != zero[4] || zero[3] != zero[5] {
+		t.Errorf("rate-0 rt-mdm columns differ: %v %v %v", zero[3], zero[4], zero[5])
 	}
 }
 

@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtmdm/internal/sim"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if got := p.OverrunExtraNs("a", 0, 0, 1000); got != 0 {
+		t.Errorf("nil plan OverrunExtraNs = %d", got)
+	}
+	if got := p.ReleaseDelay("a", 0); got != 0 {
+		t.Errorf("nil plan ReleaseDelay = %v", got)
+	}
+	if got := p.DMADerateNs(0, 1000); got != 1000 {
+		t.Errorf("nil plan DMADerateNs = %d", got)
+	}
+	if p.InSlowdown(0) || p.TransferFaulty("a", 0, 0, 0, 0) {
+		t.Error("nil plan reports faults")
+	}
+	if p.MaxReleaseDelay() != 0 || p.RetryBackoffNs(1) != 0 || p.MaxRetries() != 0 || p.Windows() != 0 {
+		t.Error("nil plan accessors not zero")
+	}
+}
+
+func TestNewDisabledConfigReturnsNil(t *testing.T) {
+	p, err := New(Config{Seed: 42}, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatal("disabled config compiled a plan")
+	}
+}
+
+func TestValidateRejectsHostileValues(t *testing.T) {
+	cases := []Config{
+		{OverrunRate: -0.1},
+		{OverrunRate: 1.5},
+		{OverrunRate: math.NaN()},
+		{OverrunRate: 0.5, OverrunFactor: 0.5},
+		{OverrunRate: 0.5, OverrunFactor: math.Inf(1)},
+		{TaskOverrunRate: map[string]float64{"kws": 2}},
+		{ReleaseJitterRate: 0.5, ReleaseJitterMaxMs: math.NaN()},
+		{ReleaseJitterRate: 0.5, ReleaseJitterMaxMs: -1},
+		{DMASlowdownRatePerSec: math.Inf(1)},
+		{DMASlowdownRatePerSec: 10, DMASlowdownMs: -2},
+		{TransferFaultRate: 0.1, MaxRetries: -1},
+		{TransferFaultRate: 0.1, MaxRetries: 1000},
+		{TransferFaultRate: 0.1, RetryBackoffUs: math.Inf(-1)},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+		if _, err := New(c, sim.Duration(1e9)); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, c)
+		}
+	}
+}
+
+func TestDecisionsAreDeterministicAndOrderFree(t *testing.T) {
+	cfg := Config{
+		Seed:               7,
+		OverrunRate:        0.3,
+		OverrunFactor:      1.2,
+		OverrunFactorMax:   2.0,
+		ReleaseJitterRate:  0.4,
+		ReleaseJitterMaxMs: 2,
+		TransferFaultRate:  0.25,
+	}
+	a, err := New(cfg, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query b in a different order than a; per-decision hashing must make
+	// the outcomes identical regardless.
+	type q struct{ job, seg int }
+	queries := []q{{0, 0}, {1, 2}, {5, 1}, {2, 0}, {9, 3}}
+	got := map[q][3]int64{}
+	for _, x := range queries {
+		got[x] = [3]int64{
+			a.OverrunExtraNs("kws", x.job, x.seg, 1_000_000),
+			int64(a.ReleaseDelay("kws", x.job)),
+			boolToInt(a.TransferFaulty("kws", x.job, x.seg, 4096, 0)),
+		}
+	}
+	for i := len(queries) - 1; i >= 0; i-- {
+		x := queries[i]
+		want := got[x]
+		have := [3]int64{
+			b.OverrunExtraNs("kws", x.job, x.seg, 1_000_000),
+			int64(b.ReleaseDelay("kws", x.job)),
+			boolToInt(b.TransferFaulty("kws", x.job, x.seg, 4096, 0)),
+		}
+		if have != want {
+			t.Errorf("query %+v: reordered plan gave %v, want %v", x, have, want)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		p, err := New(Config{Seed: seed, OverrunRate: 0.5}, sim.Duration(1e9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for job := 0; job < 64 && same; job++ {
+		if a.OverrunExtraNs("t", job, 0, 1000) != b.OverrunExtraNs("t", job, 0, 1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical overrun decisions over 64 jobs")
+	}
+}
+
+func TestOverrunRateExtremes(t *testing.T) {
+	always, err := New(Config{OverrunRate: 1, OverrunFactor: 2}, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := 0; job < 32; job++ {
+		if got := always.OverrunExtraNs("t", job, 0, 1000); got != 1000 {
+			t.Fatalf("rate=1 factor=2: job %d extra = %d, want 1000", job, got)
+		}
+	}
+	// Rate 1 on another class keeps this task's override at 0.
+	never, err := New(Config{OverrunRate: 1, TaskOverrunRate: map[string]float64{"t": 0}}, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := 0; job < 32; job++ {
+		if got := never.OverrunExtraNs("t", job, 0, 1000); got != 0 {
+			t.Fatalf("per-task rate 0: job %d extra = %d, want 0", job, got)
+		}
+	}
+	if got := never.OverrunExtraNs("other", 0, 0, 1000); got == 0 {
+		t.Error("non-overridden task should use the global rate 1")
+	}
+}
+
+func TestOverrunFactorRangeBounded(t *testing.T) {
+	p, err := New(Config{OverrunRate: 1, OverrunFactor: 1.2, OverrunFactorMax: 3}, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const work = 1_000_000
+	lo, hi := int64(work)*200/1000, int64(work)*2000/1000
+	varied := false
+	first := p.OverrunExtraNs("t", 0, 0, work)
+	for job := 0; job < 64; job++ {
+		got := p.OverrunExtraNs("t", job, 0, work)
+		if got < lo || got > hi {
+			t.Fatalf("job %d extra %d outside [%d, %d]", job, got, lo, hi)
+		}
+		if got != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("uniform factor range produced a constant exceedance over 64 jobs")
+	}
+}
+
+func TestDMAWindowsSortedWithinHorizon(t *testing.T) {
+	horizon := sim.Duration(1e9)
+	p, err := New(Config{DMASlowdownRatePerSec: 50, DMASlowdownMs: 2, DMASlowdownFactor: 3}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Windows() == 0 {
+		t.Fatal("expected slowdown windows at 50/sec over 1s")
+	}
+	var prevEnd sim.Time
+	for i := range p.windows {
+		w := p.windows[i]
+		if w.from < prevEnd {
+			t.Fatalf("window %d [%v,%v) overlaps previous end %v", i, w.from, w.to, prevEnd)
+		}
+		if w.from >= sim.Time(horizon) {
+			t.Fatalf("window %d starts past the horizon", i)
+		}
+		prevEnd = w.to
+		mid := w.from + (w.to-w.from)/2
+		if !p.InSlowdown(mid) {
+			t.Fatalf("InSlowdown false inside window %d", i)
+		}
+		if got := p.DMADerateNs(mid, 1000); got != 3000 {
+			t.Fatalf("derate inside window = %d, want 3000", got)
+		}
+		if p.InSlowdown(w.to) {
+			t.Fatalf("window %d end should be exclusive", i)
+		}
+	}
+	if got := p.DMADerateNs(p.windows[0].from-1, 1000); got != 1000 {
+		t.Fatalf("derate outside window = %d, want identity", got)
+	}
+}
+
+func TestTransferFaultBudgetTerminates(t *testing.T) {
+	p, err := New(Config{TransferFaultRate: 1, MaxRetries: 4}, sim.Duration(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		if !p.TransferFaulty("t", 0, 0, 0, attempt) {
+			t.Fatalf("rate=1 attempt %d should fault", attempt)
+		}
+	}
+	if p.TransferFaulty("t", 0, 0, 0, 4) {
+		t.Error("attempt at the retry budget must succeed")
+	}
+	if got := p.RetryBackoffNs(1); got != 20_000 {
+		t.Errorf("default first backoff = %v, want 20µs", got)
+	}
+	if got := p.RetryBackoffNs(3); got != 80_000 {
+		t.Errorf("third backoff = %v, want 80µs", got)
+	}
+	if got, want := p.RetryBackoffNs(40), sim.Duration(20_000<<10); got != want {
+		t.Errorf("backoff cap = %v, want %v", got, want)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("overrun=0.25, factor=2.0, factor-max=3, seed=7, xfer=0.1, retries=5, backoff-us=50, jitter=0.2, jitter-ms=3, dma-rate=10, dma-ms=2, dma-factor=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, OverrunRate: 0.25, OverrunFactor: 2, OverrunFactorMax: 3,
+		ReleaseJitterRate: 0.2, ReleaseJitterMaxMs: 3,
+		DMASlowdownRatePerSec: 10, DMASlowdownMs: 2, DMASlowdownFactor: 3,
+		TransferFaultRate: 0.1, MaxRetries: 5, RetryBackoffUs: 50,
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	for _, bad := range []string{"overrun", "nope=1", "overrun=x", "overrun=2", "seed=1.5"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "fault:") {
+			t.Errorf("ParseSpec(%q) error %v lacks package prefix", bad, err)
+		}
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -103,6 +103,24 @@ func (c *CPU) Run(workNs int64, onDone func()) {
 	c.bus.update()
 }
 
+// Abort cancels the in-flight work item without firing its onDone: the
+// core is reclaimed immediately (fault handling: a job killed at its
+// deadline). The unexecuted remainder is refunded from BusyNs so
+// utilization accounting reflects work actually done. Returns the refunded
+// work-ns (0 when idle).
+func (c *CPU) Abort() int64 {
+	if !c.busy || c.act == nil {
+		return 0
+	}
+	rem := c.act.Remaining()
+	c.BusyNs -= rem
+	c.act.Pause() // banks progress and cancels the armed completion event
+	c.act = nil
+	c.busy = false
+	c.bus.update()
+	return rem
+}
+
 // Arbitration selects the DMA queue ordering.
 type Arbitration int
 
@@ -180,10 +198,38 @@ type DMA struct {
 	current *Transfer
 	act     *sim.Activity
 	seq     uint64
+	derate  func(at sim.Time, workNs int64) int64
 	// BusyNs accumulates pure transfer work-ns (at unit rate).
 	BusyNs int64
 	// Completed counts finished transfers.
 	Completed uint64
+}
+
+// SetDerate installs a hook that transforms each transfer's nominal work-ns
+// at the instant it occupies the channel (fault injection: transient bus
+// slowdown windows). The hook must be deterministic in its arguments; a nil
+// hook (the default) keeps nominal timing.
+func (d *DMA) SetDerate(fn func(at sim.Time, workNs int64) int64) { d.derate = fn }
+
+// Current returns the transfer occupying the channel, or nil when idle.
+func (d *DMA) Current() *Transfer { return d.current }
+
+// Abort cancels the in-flight transfer without firing its OnDone and starts
+// the next queued transfer, if any (fault handling: the submitting job was
+// killed). The unmoved remainder is refunded from BusyNs. Returns the
+// refunded work-ns (0 when idle).
+func (d *DMA) Abort() int64 {
+	if d.current == nil || d.act == nil {
+		return 0
+	}
+	rem := d.act.Remaining()
+	d.BusyNs -= rem
+	d.act.Pause()
+	d.act = nil
+	d.current = nil
+	d.bus.update()
+	d.tryStart()
+	return rem
 }
 
 // SetArbitration selects the queue policy; it must be called before any
@@ -240,6 +286,11 @@ func (d *DMA) tryStart() {
 	t := heap.Pop(&d.queue).(*Transfer)
 	d.current = t
 	work := d.mem.TransferNs(t.Bytes)
+	if d.derate != nil {
+		if w := d.derate(d.eng.Now(), work); w > 0 {
+			work = w
+		}
+	}
 	d.BusyNs += work
 	if t.OnStart != nil {
 		t.OnStart()

@@ -10,13 +10,19 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":-1}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`[]`))
+	f.Add([]byte(withFaults))
+	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":{"overrun":"bogus"}}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":{"overrun_rate":-3}}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":{"overrun_factor":1e300,"max_retries":-1}}`))
+	f.Add([]byte(`{"horizon_ms":1e308,"tasks":[{"name":"a","model":"lenet5","period_ms":1e-300}],"faults":{"dma_slowdown_rate_per_sec":1e6,"dma_slowdown_ms":1}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := Parse(data)
 		if err != nil {
 			return
 		}
-		// Build must not panic either; errors are fine.
+		// Build and FaultPlan must not panic either; errors are fine.
 		_, _, _, _ = sc.Build()
+		_, _ = sc.FaultPlan()
 	})
 }
 

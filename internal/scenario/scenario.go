@@ -8,12 +8,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
+	"rtmdm/internal/fault"
 	"rtmdm/internal/models"
 	"rtmdm/internal/nn"
 	"rtmdm/internal/segment"
@@ -43,6 +45,16 @@ type TaskSpec struct {
 	Priority *int `json:"priority,omitempty"`
 }
 
+// FaultSpec is the optional fault-injection stanza: the fault.Config rates
+// (inlined) plus the overrun-handling discipline the executor applies to
+// deadline misses.
+type FaultSpec struct {
+	fault.Config
+	// Overrun selects the handling policy: "continue" (default), "abort",
+	// or "skip-next".
+	Overrun string `json:"overrun,omitempty"`
+}
+
 // Scenario is a complete deployment description.
 type Scenario struct {
 	// Platform names a preset (default "stm32h743").
@@ -52,6 +64,8 @@ type Scenario struct {
 	// HorizonMs bounds the simulation (default 1000).
 	HorizonMs float64    `json:"horizon_ms,omitempty"`
 	Tasks     []TaskSpec `json:"tasks"`
+	// Faults optionally enables deterministic fault injection for the run.
+	Faults *FaultSpec `json:"faults,omitempty"`
 }
 
 // Parse decodes a scenario from JSON, rejecting unknown fields.
@@ -65,7 +79,33 @@ func Parse(data []byte) (*Scenario, error) {
 	if len(sc.Tasks) == 0 {
 		return nil, fmt.Errorf("scenario: no tasks")
 	}
+	if err := sc.validateNumbers(); err != nil {
+		return nil, err
+	}
 	return &sc, nil
+}
+
+// maxMs bounds every millisecond-denominated field: anything larger would
+// overflow the int64 nanosecond conversion (1e12 ms = ~11.5 simulated days,
+// comfortably inside int64 ns).
+const maxMs = 1e12
+
+// validateNumbers rejects non-finite or overflow-prone timing fields early:
+// JSON permits no NaN/Inf literals, but scenarios can also be constructed in
+// Go, a NaN period slips past ordinary "<= 0" guards, and a huge horizon
+// overflows the ns conversion into negative virtual time.
+func (sc *Scenario) validateNumbers() error {
+	sane := func(v float64) bool { return !math.IsNaN(v) && v <= maxMs && v >= -maxMs }
+	if !sane(sc.HorizonMs) {
+		return fmt.Errorf("scenario: horizon_ms %v out of range", sc.HorizonMs)
+	}
+	for _, tsp := range sc.Tasks {
+		if !sane(tsp.PeriodMs) || !sane(tsp.DeadlineMs) || !sane(tsp.OffsetMs) {
+			return fmt.Errorf("scenario: task %s: timing out of range (period %v, deadline %v, offset %v)",
+				tsp.Name, tsp.PeriodMs, tsp.DeadlineMs, tsp.OffsetMs)
+		}
+	}
+	return nil
 }
 
 // Load reads and parses a scenario file.
@@ -104,13 +144,37 @@ func (sc *Scenario) Resolve() (cost.Platform, core.Policy, error) {
 	if err != nil {
 		return cost.Platform{}, core.Policy{}, err
 	}
+	if sc.Faults != nil {
+		op, err := core.ParseOverrunPolicy(sc.Faults.Overrun)
+		if err != nil {
+			return cost.Platform{}, core.Policy{}, fmt.Errorf("scenario: %w", err)
+		}
+		pol.Overrun = op
+	}
 	return plat, pol, nil
+}
+
+// FaultPlan compiles the scenario's faults stanza into an injection plan
+// spanning the scenario horizon. It returns (nil, nil) when the stanza is
+// absent or describes no faults.
+func (sc *Scenario) FaultPlan() (*fault.Plan, error) {
+	if sc.Faults == nil {
+		return nil, nil
+	}
+	plan, err := fault.New(sc.Faults.Config, sc.Horizon())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return plan, nil
 }
 
 // Build instantiates the scenario: models are built and segmented under
 // the policy's limits, priorities are pinned or assigned rate-monotonic,
 // and SRAM provisioning is verified.
 func (sc *Scenario) Build() (*task.Set, cost.Platform, core.Policy, error) {
+	if err := sc.validateNumbers(); err != nil {
+		return nil, cost.Platform{}, core.Policy{}, err
+	}
 	plat, pol, err := sc.Resolve()
 	if err != nil {
 		return nil, cost.Platform{}, core.Policy{}, err

@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"rtmdm/internal/core"
 	"rtmdm/internal/models"
 	"rtmdm/internal/sim"
 )
@@ -19,6 +22,19 @@ const good = `{
     {"name": "det", "model": "mobilenetv1-0.25", "period_ms": 150, "deadline_ms": 120},
     {"name": "anomaly", "model": "autoencoder", "period_ms": 100, "offset_ms": 5}
   ]
+}`
+
+const withFaults = `{
+  "horizon_ms": 200,
+  "tasks": [{"name": "kws", "model": "ds-cnn", "period_ms": 50}],
+  "faults": {
+    "seed": 7,
+    "overrun_rate": 0.25,
+    "overrun_factor": 1.5,
+    "transfer_fault_rate": 0.1,
+    "max_retries": 2,
+    "overrun": "abort"
+  }
 }`
 
 func TestParseAndBuild(t *testing.T) {
@@ -206,6 +222,91 @@ func TestModelFileTasks(t *testing.T) {
 	}
 	if _, _, _, err := sc.Build(); err == nil {
 		t.Fatal("missing model file accepted")
+	}
+}
+
+func TestFaultsStanza(t *testing.T) {
+	sc, err := Parse([]byte(withFaults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, pol, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Overrun != core.OverrunAbort {
+		t.Fatalf("overrun policy %v, want abort", pol.Overrun)
+	}
+	plan, err := sc.FaultPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("enabled faults stanza produced nil plan")
+	}
+
+	// No stanza: nil plan, default policy.
+	sc2, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan, err := sc2.FaultPlan(); err != nil || plan != nil {
+		t.Fatalf("plan without stanza: %v, %v", plan, err)
+	}
+	_, _, pol2, err := sc2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol2.Overrun != core.OverrunContinue {
+		t.Fatalf("default overrun policy %v", pol2.Overrun)
+	}
+}
+
+func TestFaultsStanzaRejections(t *testing.T) {
+	base := `{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":%s}`
+	builds := map[string]string{
+		"bad overrun policy": `{"overrun":"panic"}`,
+	}
+	for what, faults := range builds {
+		sc, err := Parse([]byte(fmt.Sprintf(base, faults)))
+		if err != nil {
+			t.Fatalf("%s failed at parse: %v", what, err)
+		}
+		if _, _, _, err := sc.Build(); err == nil {
+			t.Errorf("%s accepted at build", what)
+		}
+	}
+	plans := map[string]string{
+		"negative rate":    `{"overrun_rate":-0.5}`,
+		"rate above one":   `{"transfer_fault_rate":1.5}`,
+		"hostile factor":   `{"overrun_rate":0.1,"overrun_factor":1e300}`,
+		"negative retries": `{"transfer_fault_rate":0.1,"max_retries":-1}`,
+	}
+	for what, faults := range plans {
+		sc, err := Parse([]byte(fmt.Sprintf(base, faults)))
+		if err != nil {
+			t.Fatalf("%s failed at parse: %v", what, err)
+		}
+		if _, err := sc.FaultPlan(); err == nil {
+			t.Errorf("%s accepted at FaultPlan", what)
+		}
+	}
+}
+
+func TestNonFiniteTimingRejected(t *testing.T) {
+	// JSON cannot carry NaN, but Go callers can: a NaN period sails past
+	// the "<= 0" guard unless rejected explicitly.
+	nan := math.NaN()
+	cases := map[string]*Scenario{
+		"nan period":   {Tasks: []TaskSpec{{Name: "a", Model: "lenet5", PeriodMs: nan}}},
+		"nan deadline": {Tasks: []TaskSpec{{Name: "a", Model: "lenet5", PeriodMs: 10, DeadlineMs: nan}}},
+		"inf offset":   {Tasks: []TaskSpec{{Name: "a", Model: "lenet5", PeriodMs: 10, OffsetMs: math.Inf(1)}}},
+		"nan horizon":  {HorizonMs: nan, Tasks: []TaskSpec{{Name: "a", Model: "lenet5", PeriodMs: 10}}},
+	}
+	for what, sc := range cases {
+		if _, _, _, err := sc.Build(); err == nil {
+			t.Errorf("%s accepted at build", what)
+		}
 	}
 }
 

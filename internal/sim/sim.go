@@ -46,6 +46,9 @@ const MaxTime Time = math.MaxInt64
 // String formats a virtual time with an adaptive unit.
 func (t Time) String() string {
 	switch {
+	case t == math.MinInt64:
+		// Negation overflows; format directly rather than recurse forever.
+		return fmt.Sprintf("%.6gs", t.Seconds())
 	case t < 0:
 		return fmt.Sprintf("-%s", (-t).String())
 	case t >= Second:

@@ -173,6 +173,69 @@ func ExportJSON(w io.Writer, tr *Trace, infos []TaskInfo) error {
 				Pid: exportPid, Tid: tid, S: instScopeT,
 				Args: &tevArgs{Task: e.Task, Job: &job},
 			})
+		case Overrun:
+			events = append(events, tev{
+				Name: "overrun", Ph: phInstant, Ts: usec(int64(e.At)),
+				Pid: exportPid, Tid: tid, S: instScopeT,
+				Args: &tevArgs{Task: e.Task, Job: &job, Segment: &seg, Bytes: e.Bytes},
+			})
+		case DMARetry:
+			if e.Bytes == 0 {
+				continue
+			}
+			start, ok := openLoad[k]
+			if !ok {
+				return fmt.Errorf("trace: dma-retry without load-start: %v", e)
+			}
+			delete(openLoad, k)
+			dur := usec(int64(e.At) - start)
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d seg%d retry", e.Task, e.Job, e.Segment),
+				Ph:   phComplete, Ts: usec(start), Dur: &dur,
+				Pid: exportPid, Tid: dmaTid, Cat: "load-retry",
+				Args: &tevArgs{Task: e.Task, Job: &job, Segment: &seg, Bytes: e.Bytes},
+			})
+		case Abort:
+			// Close whatever slice the job held open, truncated at the
+			// abort instant (the platform interval really did end here).
+			for sk, start := range openCompute {
+				if sk.task != e.Task || sk.job != e.Job {
+					continue
+				}
+				s := sk.seg
+				dur := usec(int64(e.At) - start)
+				events = append(events, tev{
+					Name: fmt.Sprintf("%s#%d seg%d", sk.task, sk.job, sk.seg),
+					Ph:   phComplete, Ts: usec(start), Dur: &dur,
+					Pid: exportPid, Tid: cpuTid, Cat: "compute",
+					Args: &tevArgs{Task: sk.task, Job: &job, Segment: &s},
+				})
+				delete(openCompute, sk)
+			}
+			for sk, start := range openLoad {
+				if sk.task != e.Task || sk.job != e.Job {
+					continue
+				}
+				s := sk.seg
+				dur := usec(int64(e.At) - start)
+				events = append(events, tev{
+					Name: fmt.Sprintf("%s#%d seg%d", sk.task, sk.job, sk.seg),
+					Ph:   phComplete, Ts: usec(start), Dur: &dur,
+					Pid: exportPid, Tid: dmaTid, Cat: "load",
+					Args: &tevArgs{Task: sk.task, Job: &job, Segment: &s},
+				})
+				delete(openLoad, sk)
+			}
+			events = append(events, tev{
+				Name: "abort", Ph: phInstant, Ts: usec(int64(e.At)),
+				Pid: exportPid, Tid: tid, S: instScopeT,
+				Args: &tevArgs{Task: e.Task, Job: &job},
+			})
+			events = append(events, tev{
+				Name: fmt.Sprintf("%s#%d", e.Task, e.Job), Ph: phAsyncEnd,
+				Ts: usec(int64(e.At)), Pid: exportPid, Tid: tid,
+				Cat: "job", ID: fmt.Sprintf("%s#%d", e.Task, e.Job),
+			})
 		}
 	}
 	// In-flight spans at the horizon stay open deliberately: Perfetto

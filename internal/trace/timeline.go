@@ -11,7 +11,7 @@ import (
 // Timeline renders a trace window as an ASCII Gantt chart: one lane for the
 // CPU (uppercase letters = which task computes), one for the DMA (lowercase
 // = which task's parameters transfer), and one lane per task showing job
-// lifecycles (R release, = pending, D done, X deadline miss).
+// lifecycles (R release, = pending, D done, X deadline miss, A abort).
 type Timeline struct {
 	From, To sim.Time
 	// Width is the number of character columns (default 100).
@@ -96,7 +96,7 @@ func (tl Timeline) Render(w io.Writer, tr *Trace, infos []TaskInfo) error {
 			if e.Bytes > 0 {
 				dmaOpen[e.Task] = open{e.At, e.Segment}
 			}
-		case LoadEnd:
+		case LoadEnd, DMARetry:
 			if o, ok := dmaOpen[e.Task]; ok {
 				fill(dma, o.at, e.At, l+('a'-'A'))
 				delete(dmaOpen, e.Task)
@@ -120,6 +120,26 @@ func (tl Timeline) Render(w io.Writer, tr *Trace, infos []TaskInfo) error {
 			if e.At >= tl.From && e.At <= tl.To {
 				taskRows[e.Task][col(e.At)] = 'X'
 			}
+		case Abort:
+			// The abort reclaims both devices and ends the job's lifecycle.
+			if o, ok := cpuOpen[e.Task]; ok {
+				fill(cpu, o.at, e.At, l)
+				delete(cpuOpen, e.Task)
+			}
+			if o, ok := dmaOpen[e.Task]; ok {
+				fill(dma, o.at, e.At, l+('a'-'A'))
+				delete(dmaOpen, e.Task)
+			}
+			if rel, ok := released[e.Task][e.Job]; ok {
+				fill(taskRows[e.Task], rel, e.At, '=')
+				if rel >= tl.From && rel <= tl.To {
+					taskRows[e.Task][col(rel)] = 'R'
+				}
+			}
+			if e.At >= tl.From && e.At <= tl.To {
+				taskRows[e.Task][col(e.At)] = 'A'
+			}
+			delete(released[e.Task], e.Job)
 		}
 	}
 	// Still-open intervals extend to the window end.
@@ -158,6 +178,6 @@ func (tl Timeline) Render(w io.Writer, tr *Trace, infos []TaskInfo) error {
 	for _, n := range names {
 		fmt.Fprintf(w, "%c=%s ", letter[n], n)
 	}
-	fmt.Fprintln(w, "(uppercase compute, lowercase load; R release, D done, X miss)")
+	fmt.Fprintln(w, "(uppercase compute, lowercase load; R release, D done, X miss, A abort)")
 	return nil
 }

@@ -33,11 +33,24 @@ const (
 	// DeadlineMiss marks the instant a job's absolute deadline passed
 	// without completion.
 	DeadlineMiss
+	// Overrun marks an injected compute-WCET exceedance: the segment's
+	// compute phase runs longer than its modeled cost. Bytes carries the
+	// extra nanoseconds. Emitted at the segment's ComputeStart instant.
+	Overrun
+	// Abort marks a job killed at its deadline under core.OverrunAbort.
+	// Exactly one Abort is emitted per aborted job, at the same instant as
+	// its DeadlineMiss, and no further events for that job may follow.
+	Abort
+	// DMARetry marks a chunk transfer lost to an injected transient fault:
+	// the transfer occupied the channel for its full duration (DMARetry
+	// closes the occupancy interval like LoadEnd) but staged nothing, and
+	// the chunk is re-issued after a backoff.
+	DMARetry
 )
 
 var kindNames = [...]string{
 	"release", "load-start", "load-end", "compute-start", "compute-end",
-	"job-done", "deadline-miss",
+	"job-done", "deadline-miss", "overrun", "abort", "dma-retry",
 }
 
 func (k Kind) String() string {
@@ -107,6 +120,7 @@ type TaskMetrics struct {
 	Released      int
 	Completed     int
 	Misses        int
+	Aborted       int // jobs killed at their deadline under OverrunAbort
 	Unfinished    int // released, incomplete at horizon, deadline already passed or not
 	MaxResponse   sim.Duration
 	TotalResponse sim.Duration
@@ -235,6 +249,8 @@ func (tr *Trace) Analyze(tasks []TaskInfo, horizon sim.Time) *Metrics {
 				missed[k] = true
 				tm.Misses++
 			}
+		case Abort:
+			tm.Aborted++
 		}
 	}
 	// Unfinished jobs whose deadline expired inside the horizon but that
@@ -262,6 +278,12 @@ func (tr *Trace) Analyze(tasks []TaskInfo, horizon sim.Time) *Metrics {
 //  5. JobDone coincides with the job's last segment ComputeEnd.
 //  6. DeadlineMiss events sit exactly at release + Deadline and only for
 //     jobs that had not completed by then.
+//  7. Abort events sit exactly at release + Deadline, occur at most once
+//     per job, only for incomplete jobs, reclaim any CPU/DMA interval the
+//     job held, and terminate the job: no later event may reference it.
+//  8. DMARetry closes the DMA occupancy interval of the faulted chunk like
+//     LoadEnd, but stages nothing (a segment may not compute on its back).
+//  9. Overrun events reference a released, incomplete job.
 func (tr *Trace) CheckInvariants(tasks []TaskInfo) error {
 	info := map[string]TaskInfo{}
 	for _, ti := range tasks {
@@ -279,9 +301,13 @@ func (tr *Trace) CheckInvariants(tasks []TaskInfo) error {
 	releases := map[jobKey]sim.Time{}
 	lastComputeEnd := map[jobKey]Event{}
 	jobDone := map[jobKey]Event{}
+	aborted := map[jobKey]bool{}
 
 	for _, e := range tr.Events {
 		k := jobKey{e.Task, e.Job}
+		if aborted[k] {
+			return fmt.Errorf("trace: %v references a job already aborted", e)
+		}
 		switch e.Kind {
 		case Release:
 			ti, ok := info[e.Task]
@@ -359,6 +385,44 @@ func (tr *Trace) CheckInvariants(tasks []TaskInfo) error {
 			if done, ok := jobDone[k]; ok && done.At <= e.At {
 				return fmt.Errorf("trace: %v after the job completed at %v", e, done.At)
 			}
+		case Overrun:
+			if _, ok := releases[k]; !ok {
+				return fmt.Errorf("trace: %v without a release", e)
+			}
+			if _, ok := jobDone[k]; ok {
+				return fmt.Errorf("trace: %v after the job completed", e)
+			}
+		case DMARetry:
+			if e.Bytes == 0 {
+				continue // zero-byte loads never occupy the channel
+			}
+			if !dmaBusy || dmaOwner.Task != e.Task || dmaOwner.Job != e.Job || dmaOwner.Segment != e.Segment {
+				return fmt.Errorf("trace: unmatched dma-retry %v (owner %v)", e, dmaOwner)
+			}
+			dmaBusy = false
+		case Abort:
+			ti, ok := info[e.Task]
+			if !ok {
+				return fmt.Errorf("trace: abort for unknown task %q", e.Task)
+			}
+			rel, ok := releases[k]
+			if !ok {
+				return fmt.Errorf("trace: %v without a release", e)
+			}
+			if want := rel + ti.Deadline; e.At != want {
+				return fmt.Errorf("trace: %v at %v, want the absolute deadline %v", e, e.At, want)
+			}
+			if _, ok := jobDone[k]; ok {
+				return fmt.Errorf("trace: %v for a completed job", e)
+			}
+			// The abort reclaims whatever interval the job held open.
+			if cpuBusy && cpuOwner.Task == e.Task && cpuOwner.Job == e.Job {
+				cpuBusy = false
+			}
+			if dmaBusy && dmaOwner.Task == e.Task && dmaOwner.Job == e.Job {
+				dmaBusy = false
+			}
+			aborted[k] = true
 		}
 	}
 	return nil

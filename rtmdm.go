@@ -40,6 +40,7 @@ import (
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
+	"rtmdm/internal/fault"
 	"rtmdm/internal/models"
 	"rtmdm/internal/nn"
 	"rtmdm/internal/scenario"
@@ -93,6 +94,25 @@ type (
 	DesignPoint = dse.Point
 	// DesignResult carries an exploration's grid and Pareto frontier.
 	DesignResult = dse.Result
+	// FaultConfig describes a deterministic fault-injection campaign
+	// (overruns, release jitter, DMA slowdowns, transfer faults).
+	FaultConfig = fault.Config
+	// FaultPlan is a compiled, concurrency-safe injection plan.
+	FaultPlan = fault.Plan
+	// OverrunPolicy selects how the executor handles deadline overruns
+	// (continue, abort, skip-next).
+	OverrunPolicy = core.OverrunPolicy
+)
+
+// Overrun-handling policies (Policy.Overrun).
+const (
+	// OverrunContinue lets an overrunning job finish late (default).
+	OverrunContinue = core.OverrunContinue
+	// OverrunAbort kills a job at its deadline, reclaiming CPU, DMA and
+	// staged buffers.
+	OverrunAbort = core.OverrunAbort
+	// OverrunSkipNext lets the job finish late but sheds its next release.
+	OverrunSkipNext = core.OverrunSkipNext
 )
 
 // Virtual-time units.
@@ -245,6 +265,21 @@ func (s *System) Build() (*TaskSet, error) {
 // is invariant-checked before return.
 func Simulate(set *TaskSet, plat Platform, pol Policy, horizon Duration) (*Result, error) {
 	return exec.Run(set, plat, pol, horizon)
+}
+
+// NewFaultPlan compiles a fault configuration into an injection plan for
+// runs up to the given horizon. Every decision is a pure function of the
+// seed, so a fixed seed reproduces the exact fault sequence. It returns
+// (nil, nil) — inject nothing — when the configuration enables no faults.
+func NewFaultPlan(cfg FaultConfig, horizon Duration) (*FaultPlan, error) {
+	return fault.New(cfg, horizon)
+}
+
+// SimulateWithFaults runs like Simulate while injecting the plan's faults
+// (nil plan = nominal run, identical to Simulate). Overrun handling follows
+// pol.Overrun.
+func SimulateWithFaults(set *TaskSet, plat Platform, pol Policy, horizon Duration, plan *FaultPlan) (*Result, error) {
+	return exec.RunWithFaults(set, plat, pol, horizon, plan)
 }
 
 // Analyze applies the schedulability test matching the policy. It returns

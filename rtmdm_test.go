@@ -99,8 +99,8 @@ func TestFacadeCatalogs(t *testing.T) {
 	if m.TotalParamBytes() == 0 {
 		t.Fatal("model has no parameters")
 	}
-	if len(Experiments()) != 24 {
-		t.Fatalf("experiment registry has %d entries, want 24", len(Experiments()))
+	if len(Experiments()) != 25 {
+		t.Fatalf("experiment registry has %d entries, want 25", len(Experiments()))
 	}
 }
 
