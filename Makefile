@@ -1,11 +1,12 @@
 # Verification tiers. Tier-1 is the gate every change must pass; the race
 # tier adds `go vet` and the race detector over the packages with nontrivial
-# concurrency (parallel sweeps, sync.Map caches, pooled engines).
+# concurrency (parallel sweeps, sync.Map caches, pooled engines); the lint
+# tier runs the repo's custom analyzers (docs/STATIC_ANALYSIS.md).
 # See docs/PERFORMANCE.md §4 for the full performance-PR checklist.
 
 GO ?= go
 
-.PHONY: verify vet race fuzz bench golden
+.PHONY: verify vet lint race fuzz bench golden
 
 # Tier-1: build + full test suite.
 verify:
@@ -14,6 +15,11 @@ verify:
 
 vet:
 	$(GO) vet ./...
+
+# Custom analyzers: determinism, millitime, hotpathalloc, metricname.
+# See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) run ./cmd/rtmdm-lint ./...
 
 # Race tier: vet plus the race detector on the concurrent packages.
 race: vet

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rtmdm/internal/core"
 	"rtmdm/internal/cost"
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
@@ -190,7 +191,7 @@ func crossCheck(spec workload.SetSpec, plat cost.Platform, best dse.Point, horiz
 	if err != nil {
 		return err
 	}
-	r, err := exec.Run(set, plat, pol, sim.Duration(horizonMs)*sim.Millisecond)
+	r, err := exec.Run(set, plat, pol, core.SatMulTime(sim.Millisecond, horizonMs))
 	if err != nil {
 		return err
 	}
@@ -198,6 +199,7 @@ func crossCheck(spec workload.SetSpec, plat cost.Platform, best dse.Point, horiz
 	for _, t := range set.Tasks {
 		m := r.Metrics.PerTask[t.Name]
 		fmt.Printf("  %-22s released %3d  worst response %8.3f ms  misses %d\n",
+			//lint:allow millitime -- ms formatting at the report boundary; responses are far below 2^53 ns
 			t.Name, m.Released, float64(m.MaxResponse)/1e6, m.Misses)
 	}
 	if r.Metrics.TotalMissRatio() > 0 {
@@ -229,9 +231,11 @@ func buildSpec(path string, plat cost.Platform, n int, util float64, seed int64)
 		if s == 0 {
 			s = 1
 		}
+		//lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
 		period := sim.Duration(t.PeriodMs * float64(sim.Millisecond))
 		deadline := period
 		if t.DeadlineMs > 0 {
+			//lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
 			deadline = sim.Duration(t.DeadlineMs * float64(sim.Millisecond))
 		}
 		sp.Tasks = append(sp.Tasks, workload.TaskSpec{

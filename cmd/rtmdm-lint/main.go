@@ -1,0 +1,225 @@
+// Command rtmdm-lint runs the repo's custom static analyzers
+// (internal/lint) over the module: determinism, millitime, hotpathalloc
+// and metricname. See docs/STATIC_ANALYSIS.md for the catalogue and the
+// //lint:allow suppression directive.
+//
+// Usage:
+//
+//	rtmdm-lint [-list] [packages|dirs]
+//
+// Arguments are either the "./..." pattern (the default — every package
+// of the enclosing module) or directory paths, which are loaded without
+// the go tool so testdata fixture packages can be linted too. The
+// determinism analyzer is scoped to the simulation-path packages; the
+// other three run everywhere. Directory arguments run all four, so
+// fixture trees exercise every analyzer.
+//
+// The command is also usable as a vet tool:
+//
+//	go vet -vettool=$(command -v rtmdm-lint) ./...
+//
+// in which case it speaks the vet driver protocol (-V=full handshake,
+// JSON config file, vetx facts stub).
+//
+// Exit status: 0 when clean, 1 on findings or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"rtmdm/internal/lint"
+)
+
+// simPathSuffixes are the packages whose execution model must be
+// deterministic: the kernel, the executor and everything that feeds the
+// result tables. The determinism analyzer is enforced only here;
+// harness-side packages (plot, cmd) may read clocks.
+var simPathSuffixes = []string{
+	"internal/sim", "internal/exec", "internal/core", "internal/trace",
+	"internal/expr", "internal/workload", "internal/fault",
+	"internal/scenario", "internal/dse",
+}
+
+func isSimPath(importPath string) bool {
+	for _, s := range simPathSuffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	vFlag := flag.String("V", "", "vet driver handshake (-V=full)")
+	flag.Bool("flags", false, "vet driver flag query (prints an empty set)")
+	flag.Parse()
+
+	if *vFlag != "" {
+		// go vet's tool-ID handshake: one "<name> version <id>" line.
+		fmt.Printf("rtmdm-lint version devel\n")
+		return 0
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0])
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return runStandalone(args)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func runStandalone(args []string) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	lint.MetricCatalog, err = loadCatalog(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+
+	findings := 0
+	for _, arg := range args {
+		switch {
+		case arg == "./...":
+			for _, path := range loader.Roots() {
+				pkg, err := loader.LoadImportPath(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+					return 1
+				}
+				findings += report(pkg, analyzersFor(path))
+			}
+		case isDir(arg):
+			// Directory mode: load without the go tool (works for
+			// testdata fixtures) and run the full suite.
+			abs, err := filepath.Abs(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+				return 1
+			}
+			pkg, err := loader.LoadDir("rtmdm-lint-dir/"+filepath.Base(abs), abs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+				return 1
+			}
+			findings += report(pkg, lint.All())
+		default:
+			fmt.Fprintf(os.Stderr, "rtmdm-lint: unsupported argument %q (use ./... or a directory path)\n", arg)
+			return 1
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "rtmdm-lint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// analyzersFor scopes the suite per package: determinism only on the
+// simulation path, the rest everywhere.
+func analyzersFor(importPath string) []*lint.Analyzer {
+	if isSimPath(importPath) {
+		return lint.All()
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if a != lint.Determinism {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func report(pkg *lint.Package, as []*lint.Analyzer) int {
+	diags, err := lint.RunAll(as, pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	return len(diags)
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// moduleRoot locates the enclosing module: `go env GOMOD` first, then a
+// go.mod walk from the working directory.
+func moduleRoot() (string, error) {
+	if out, err := exec.Command("go", "env", "GOMOD").Output(); err == nil {
+		gomod := strings.TrimSpace(string(out))
+		if gomod != "" && gomod != os.DevNull {
+			return filepath.Dir(gomod), nil
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// metricNameRe mirrors docsync_test.go: backticked dotted identifiers in
+// the instrumented-package namespaces.
+var metricNameRe = regexp.MustCompile("`((?:sim|exec|dse|expr|workload)\\.[a-z0-9_]+)`")
+
+// loadCatalog parses the metric catalogue out of docs/OBSERVABILITY.md.
+func loadCatalog(root string) (map[string]bool, error) {
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		return nil, fmt.Errorf("loading metric catalogue: %w", err)
+	}
+	cat := map[string]bool{}
+	for _, m := range metricNameRe.FindAllStringSubmatch(string(doc), -1) {
+		cat[m[1]] = true
+	}
+	return cat, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected into a string.
+func capture(t *testing.T, fn func() int) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	code := fn()
+	w.Close()
+	return code, <-done
+}
+
+// TestCleanTree pins the dogfooding invariant: the repo's own packages
+// carry no unsuppressed findings.
+func TestCleanTree(t *testing.T) {
+	code, out := capture(t, func() int { return runStandalone([]string{"./..."}) })
+	if code != 0 {
+		t.Fatalf("rtmdm-lint ./... = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+// TestBrokenFixtureFailsEveryAnalyzer runs directory mode over a fixture
+// holding one violation per analyzer and requires all four to fire.
+func TestBrokenFixtureFailsEveryAnalyzer(t *testing.T) {
+	code, out := capture(t, func() int {
+		return runStandalone([]string{filepath.Join("testdata", "brokentree")})
+	})
+	if code == 0 {
+		t.Fatalf("rtmdm-lint testdata/brokentree = 0, want nonzero")
+	}
+	for _, a := range []string{"determinism", "millitime", "hotpathalloc", "metricname"} {
+		if !strings.Contains(out, "["+a+"]") {
+			t.Errorf("no %s finding in output:\n%s", a, out)
+		}
+	}
+}
+
+// TestSeededClockFails is the acceptance check from the determinism
+// analyzer's contract: introducing time.Now() into a simulation package
+// must fail the lint run.
+func TestSeededClockFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sim")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package sim\n\nimport \"time\"\n\nfunc Seed() int64 { return time.Now().UnixNano() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "seed.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := capture(t, func() int { return runStandalone([]string{dir}) })
+	if code == 0 {
+		t.Fatalf("seeding time.Now() passed the lint run; output:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now") {
+		t.Errorf("finding does not name time.Now:\n%s", out)
+	}
+}

@@ -1,0 +1,28 @@
+// Package brokentree is the driver test's negative fixture: exactly one
+// violation per analyzer, so `rtmdm-lint <dir>` must exit nonzero and
+// name all four analyzers. It lives under testdata so the go tool never
+// builds it.
+package brokentree
+
+import (
+	"time"
+
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/sim"
+)
+
+// Seed leaks the wall clock into a would-be deterministic component.
+func Seed() int64 { return time.Now().UnixNano() }
+
+// Scale pushes a virtual-time quantity through float arithmetic.
+func Scale(t sim.Time) sim.Time { return sim.Time(float64(t) * 1.5) }
+
+// Hot concatenates on a declared hot path.
+//
+//rtmdm:hotpath
+func Hot(a, b string) string { return a + b }
+
+// Register uses a metric name missing from docs/OBSERVABILITY.md.
+func Register(r *metrics.Registry) {
+	r.Counter("exec.bogus_undocumented", "x", "undocumented")
+}

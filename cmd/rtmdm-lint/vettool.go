@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"rtmdm/internal/lint"
+)
+
+// vetConfig is the JSON the go command hands a -vettool per package —
+// the same wire format golang.org/x/tools/go/analysis/unitchecker
+// consumes. Only the fields this driver needs are decoded.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool implements the vet driver protocol: read the package
+// config, type-check from the supplied export data, run the suite, emit
+// findings on stderr, and always write the (empty) facts file the go
+// command expects back. Exit 0 clean, 2 on findings — vet's convention.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint: parsing vet config:", err)
+		return 1
+	}
+	// The facts file must exist even when no analysis runs, or the go
+	// command reports a tool failure. This suite exchanges no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rtmdm-lint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	if root, err := moduleRootFrom(cfg.Dir); err == nil {
+		lint.MetricCatalog, _ = loadCatalog(root)
+	}
+
+	fset := token.NewFileSet()
+	pkg := &lint.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Src:        map[string][]byte{},
+	}
+	for _, fn := range cfg.GoFiles {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+			return 1
+		}
+		f, err := parser.ParseFile(fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+			return 1
+		}
+		pkg.Src[fn] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	imp, err := newVetImporter(fset, &cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	pkg.Types = tpkg
+
+	diags, err := lint.RunAll(analyzersFor(cfg.ImportPath), pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter resolves imports through the export files the go command
+// listed in the vet config. One gc importer instance per package keeps
+// imported package identities stable across imports.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) (*vetImporter, error) {
+	v := &vetImporter{cfg: cfg}
+	gc, ok := importer.ForCompiler(fset, "gc", v.lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("gc importer does not implement ImporterFrom")
+	}
+	v.gc = gc
+	return v, nil
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	return v.ImportFrom(path, v.cfg.Dir, 0)
+}
+
+func (v *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return v.gc.ImportFrom(path, dir, mode)
+}
+
+func (v *vetImporter) lookup(path string) (io.ReadCloser, error) {
+	canonical := path
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		canonical = mapped
+	}
+	file, ok := v.cfg.PackageFile[canonical]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet config", path)
+	}
+	return os.Open(file)
+}
+
+// moduleRootFrom walks up from dir to the enclosing go.mod.
+func moduleRootFrom(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -96,7 +96,7 @@ func main() {
 					acc++
 				}
 				if *empirical {
-					r, err := exec.Run(set, plat, pol, sim.Duration(*horizonMs)*sim.Millisecond)
+					r, err := exec.Run(set, plat, pol, core.SatMulTime(sim.Millisecond, *horizonMs))
 					if err != nil {
 						fatal(err)
 					}

@@ -185,7 +185,7 @@ func main() {
 				maxT = t.Period
 			}
 		}
-		window := 2 * maxT
+		window := core.SatMulTime(maxT, 2)
 		if window > horizon {
 			window = horizon
 		}

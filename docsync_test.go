@@ -3,11 +3,13 @@ package rtmdm
 import (
 	"os"
 	"regexp"
+	"strings"
 	"testing"
 
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
+	"rtmdm/internal/lint"
 	"rtmdm/internal/metrics"
 	"rtmdm/internal/workload"
 )
@@ -76,6 +78,40 @@ func TestRobustnessDocNamesExist(t *testing.T) {
 	for _, m := range metricName.FindAllStringSubmatch(string(doc), -1) {
 		if !registered[m[1]] {
 			t.Errorf("docs/ROBUSTNESS.md names %q, which is not in the registry", m[1])
+		}
+	}
+}
+
+// TestStaticAnalysisDocMatchesAnalyzers keeps docs/STATIC_ANALYSIS.md and
+// the lint suite in lockstep: every registered analyzer must have a
+// "### `name`" section, and every such section must name a registered
+// analyzer.
+func TestStaticAnalysisDocMatchesAnalyzers(t *testing.T) {
+	doc, err := os.ReadFile("docs/STATIC_ANALYSIS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionRe := regexp.MustCompile("(?m)^### `([a-z]+)`$")
+	documented := map[string]bool{}
+	for _, m := range sectionRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	registered := lint.Names()
+	for _, name := range registered {
+		if !documented[name] {
+			t.Errorf("analyzer %q has no section in docs/STATIC_ANALYSIS.md", name)
+		}
+	}
+	for name := range documented {
+		found := false
+		for _, r := range registered {
+			if r == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("docs/STATIC_ANALYSIS.md documents %q, which is not a registered analyzer (lint.Names() = %s)",
+				name, strings.Join(registered, ", "))
 		}
 	}
 }

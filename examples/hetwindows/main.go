@@ -61,6 +61,7 @@ func main() {
 		}
 		verdictStr := "REJECTED"
 		if v.Schedulable {
+			//lint:allow millitime -- ms formatting at the report boundary
 			verdictStr = fmt.Sprintf("%.2f ms", float64(v.WCRT["kws"])/1e6)
 		}
 		fmt.Printf("%-26s %d/%d/%d                  %4d KiB       %s\n",

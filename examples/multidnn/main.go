@@ -15,6 +15,7 @@ import (
 func buildSet(pol rtmdm.Policy, scale float64) (*rtmdm.TaskSet, error) {
 	plat := rtmdm.DefaultPlatform()
 	p := func(ms float64) rtmdm.Duration {
+		//lint:allow millitime -- example-setup boundary: small literal ms values scaled once
 		return rtmdm.Duration(ms * scale * float64(rtmdm.Millisecond))
 	}
 	return rtmdm.NewSystem(plat, pol).

@@ -442,8 +442,8 @@ func NecessaryUtilization(s *task.Set, plat cost.Platform) Verdict {
 	ts := mkTerms(s, plat, 0)
 	var uc, ul float64
 	for _, t := range ts {
-		uc += float64(t.sumC) / float64(t.t.Period)
-		ul += float64(t.sumL) / float64(t.t.Period)
+		uc += float64(t.sumC) / float64(t.t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
+		ul += float64(t.sumL) / float64(t.t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
 	}
 	v := Verdict{Test: "necessary-utilization", Schedulable: uc <= 1.0 && ul <= 1.0}
 	if !v.Schedulable {
@@ -510,7 +510,7 @@ func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 			plat.Bus.DMADen, plat.Bus.DMANum, plat.Bus.CPUDen, plat.Bus.CPUNum)
 		dts[i] = dtask{c: serial, d: ts[i].t.Deadline, p: ts[i].t.Period,
 			jit: ts[i].t.Jitter, inv: ts[i].inventoryC(depthFor(ts[i].t)), segL: ts[i].maxSegL}
-		util += float64(serial) / float64(ts[i].t.Period)
+		util += float64(serial) / float64(ts[i].t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
 		sumC += serial
 		if b := dts[i].inv + dts[i].segL; b > maxBlk {
 			maxBlk = b
@@ -690,8 +690,8 @@ func BreakdownFactor(s *task.Set, plat cost.Platform,
 		var out []*task.Task
 		for _, t := range s.Tasks {
 			c := *t
-			c.Period = sim.Duration(float64(t.Period) / alpha)
-			c.Deadline = sim.Duration(float64(t.Deadline) / alpha)
+			c.Period = sim.Duration(float64(t.Period) / alpha)     //lint:allow millitime -- sensitivity sweep scales analytically, not in simulation
+			c.Deadline = sim.Duration(float64(t.Deadline) / alpha) //lint:allow millitime -- sensitivity sweep scales analytically, not in simulation
 			if c.Period < 1 {
 				c.Period = 1
 			}

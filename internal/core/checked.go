@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"rtmdm/internal/sim"
+)
+
+// Checked milli-time arithmetic.
+//
+// sim.Time is an int64 nanosecond count, so a plain `t * k` silently
+// wraps once the product leaves the int64 range — a 5-minute horizon
+// times a careless factor is already 2^58. The helpers below are the
+// blessed way to scale virtual-time quantities: they compute the full
+// 128-bit product and saturate at the int64 range instead of wrapping.
+// For every in-range input they return exactly the same value as the
+// raw int64 expression they replace, so swapping them in does not
+// perturb simulation results. The millitime analyzer (internal/lint)
+// points violators here.
+
+// SatMulTime returns t×k, saturating at the sim.Time range instead of
+// wrapping. Exact for every in-range product.
+func SatMulTime(t sim.Time, k int64) sim.Time {
+	return sim.Time(SatMulNs(int64(t), k))
+}
+
+// SatAddTime returns a+b, saturating at the sim.Time range instead of
+// wrapping.
+func SatAddTime(a, b sim.Time) sim.Time {
+	s := a + b
+	// Overflow iff both operands share a sign the sum does not.
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return sim.Time(math.MaxInt64)
+		}
+		return sim.Time(math.MinInt64)
+	}
+	return s
+}
+
+// ScaleTimeMilli returns t×milli/1000 — application of a parts-per-
+// thousand factor to a virtual-time quantity — computed through a
+// 128-bit intermediate so the product cannot wrap. Matches the integer
+// expression `t * milli / 1000` exactly whenever that expression does
+// not overflow.
+func ScaleTimeMilli(t sim.Time, milli int64) sim.Duration {
+	return sim.Duration(ScaleNsMilli(int64(t), milli))
+}
+
+// ScaleNsMilli is ScaleTimeMilli for raw nanosecond counts held as
+// int64 (fault factors, cost-model outputs).
+func ScaleNsMilli(nsv, milli int64) int64 {
+	neg := (nsv < 0) != (milli < 0)
+	hi, lo := bits.Mul64(absU64(nsv), absU64(milli))
+	if hi >= 1000 { // quotient would itself overflow 64 bits
+		return satBound(neg)
+	}
+	q, _ := bits.Div64(hi, lo, 1000)
+	return clampU64(q, neg)
+}
+
+// SatMulNs multiplies two int64 nanosecond-scale quantities with
+// saturation at the int64 range. Exact for in-range products.
+func SatMulNs(a, b int64) int64 {
+	neg := (a < 0) != (b < 0)
+	hi, lo := bits.Mul64(absU64(a), absU64(b))
+	if hi != 0 {
+		return satBound(neg)
+	}
+	return clampU64(lo, neg)
+}
+
+// absU64 is |v| without the MinInt64 trap: the two's-complement bit
+// pattern of MinInt64 already reads as 2^63 when reinterpreted.
+func absU64(v int64) uint64 {
+	if v < 0 {
+		return -uint64(v)
+	}
+	return uint64(v)
+}
+
+// clampU64 re-signs an unsigned magnitude, saturating when it does not
+// fit the requested sign's int64 half-range.
+func clampU64(mag uint64, neg bool) int64 {
+	if neg {
+		if mag > 1<<63 {
+			return math.MinInt64
+		}
+		return -int64(mag)
+	}
+	if mag > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(mag)
+}
+
+func satBound(neg bool) int64 {
+	if neg {
+		return math.MinInt64
+	}
+	return math.MaxInt64
+}

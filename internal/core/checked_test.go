@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtmdm/internal/sim"
+)
+
+func TestSatMulTimeExactInRange(t *testing.T) {
+	cases := []struct {
+		t sim.Time
+		k int64
+	}{
+		{0, 5}, {1, 1}, {1500 * sim.Millisecond, 20}, {sim.Second, -3},
+		{-7 * sim.Millisecond, 9}, {123456789, 987654},
+	}
+	for _, c := range cases {
+		want := sim.Time(int64(c.t) * c.k)
+		if got := SatMulTime(c.t, c.k); got != want {
+			t.Errorf("SatMulTime(%d, %d) = %d, want %d", c.t, c.k, got, want)
+		}
+	}
+}
+
+func TestSatMulTimeSaturates(t *testing.T) {
+	if got := SatMulTime(sim.Time(math.MaxInt64), 2); got != sim.Time(math.MaxInt64) {
+		t.Errorf("positive overflow = %d, want MaxInt64", got)
+	}
+	if got := SatMulTime(sim.Time(math.MaxInt64), -2); got != sim.Time(math.MinInt64) {
+		t.Errorf("negative overflow = %d, want MinInt64", got)
+	}
+	if got := SatMulTime(sim.Time(math.MinInt64), -1); got != sim.Time(math.MaxInt64) {
+		t.Errorf("MinInt64 * -1 = %d, want MaxInt64", got)
+	}
+}
+
+func TestSatAddTime(t *testing.T) {
+	if got := SatAddTime(3*sim.Second, 4*sim.Second); got != 7*sim.Second {
+		t.Errorf("SatAddTime in range = %d", got)
+	}
+	if got := SatAddTime(sim.Time(math.MaxInt64), 1); got != sim.Time(math.MaxInt64) {
+		t.Errorf("SatAddTime overflow = %d, want MaxInt64", got)
+	}
+	if got := SatAddTime(sim.Time(math.MinInt64), -1); got != sim.Time(math.MinInt64) {
+		t.Errorf("SatAddTime underflow = %d, want MinInt64", got)
+	}
+}
+
+// TestScaleNsMilliMatchesRaw pins the contract the dogfooded call sites
+// rely on: bit-identical to `ns * milli / 1000` whenever the raw
+// product fits int64.
+func TestScaleNsMilliMatchesRaw(t *testing.T) {
+	cases := []struct{ ns, milli int64 }{
+		{0, 500}, {1_000_000, 1500}, {1_000_000, 999}, {7, 1},
+		{123_456_789, 2750}, {-1_000_000, 1500}, {1_000_000, -300},
+		{999, 999}, {1, 1000}, {1e15, 9000},
+	}
+	for _, c := range cases {
+		want := c.ns * c.milli / 1000
+		if got := ScaleNsMilli(c.ns, c.milli); got != want {
+			t.Errorf("ScaleNsMilli(%d, %d) = %d, want %d", c.ns, c.milli, got, want)
+		}
+	}
+}
+
+func TestScaleNsMilliWideIntermediate(t *testing.T) {
+	// ns*milli overflows int64, but the quotient is still in range: the
+	// raw expression would wrap, the checked helper stays exact.
+	ns := int64(math.MaxInt64 / 1000 * 999)
+	got := ScaleNsMilli(ns, 1000)
+	if got != ns {
+		t.Errorf("ScaleNsMilli(%d, 1000) = %d, want identity", ns, got)
+	}
+	// Quotient itself out of range: saturate.
+	if got := ScaleNsMilli(math.MaxInt64, 2000); got != math.MaxInt64 {
+		t.Errorf("saturation = %d, want MaxInt64", got)
+	}
+	if got := ScaleNsMilli(math.MaxInt64, -2000); got != math.MinInt64 {
+		t.Errorf("negative saturation = %d, want MinInt64", got)
+	}
+}
+
+func TestSatMulNs(t *testing.T) {
+	if got := SatMulNs(1<<40, 1<<40); got != math.MaxInt64 {
+		t.Errorf("SatMulNs overflow = %d, want MaxInt64", got)
+	}
+	if got := SatMulNs(-(1 << 40), 1<<40); got != math.MinInt64 {
+		t.Errorf("SatMulNs underflow = %d, want MinInt64", got)
+	}
+	if got := SatMulNs(123, 456); got != 123*456 {
+		t.Errorf("SatMulNs in range = %d", got)
+	}
+}

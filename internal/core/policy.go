@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"rtmdm/internal/cost"
 	"rtmdm/internal/segment"
@@ -181,8 +182,15 @@ func (p Policy) Validate() error {
 	if p.TaskDepth != nil && !p.PrefetchAcrossJobs {
 		return fmt.Errorf("core: policy %s: per-task depths require cross-job prefetching", p.Name)
 	}
-	for name, d := range p.TaskDepth {
-		if d < 1 {
+	// Sorted so the reported violation is the same task on every run,
+	// not whichever the map yields first.
+	var depthTasks []string
+	for name := range p.TaskDepth {
+		depthTasks = append(depthTasks, name)
+	}
+	sort.Strings(depthTasks)
+	for _, name := range depthTasks {
+		if d := p.TaskDepth[name]; d < 1 {
 			return fmt.Errorf("core: policy %s: task %s depth %d < 1", p.Name, name, d)
 		}
 	}

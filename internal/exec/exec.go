@@ -129,7 +129,7 @@ func (r *Result) CPUUtilization() float64 {
 	if r.Horizon == 0 {
 		return 0
 	}
-	return float64(r.CPUBusyNs) / float64(r.Horizon)
+	return float64(r.CPUBusyNs) / float64(r.Horizon) //lint:allow millitime -- utilization ratio at the result boundary
 }
 
 // DMAUtilization is the fraction of the horizon the DMA transferred.
@@ -137,7 +137,7 @@ func (r *Result) DMAUtilization() float64 {
 	if r.Horizon == 0 {
 		return 0
 	}
-	return float64(r.DMABusyNs) / float64(r.Horizon)
+	return float64(r.DMABusyNs) / float64(r.Horizon) //lint:allow millitime -- utilization ratio at the result boundary
 }
 
 // enginePool recycles simulation engines across runs: sweep-scale callers
@@ -190,6 +190,7 @@ type rtask struct {
 	suppress int
 }
 
+//rtmdm:hotpath
 func (rt *rtask) head() *job {
 	if len(rt.pending) == 0 {
 		return nil
@@ -239,6 +240,8 @@ type runner struct {
 }
 
 // noteFault records one injected fault event.
+//
+//rtmdm:hotpath
 func (r *runner) noteFault() {
 	r.faultsInjected++
 	r.ins.faultsInjected.Add(1)
@@ -349,7 +352,7 @@ func RunWithFaults(set *task.Set, plat cost.Platform, pol core.Policy, horizon s
 		ActivationPeak:     r.actPeak,
 		FlashBytes:         r.flashBytes,
 		EnergyMicroJ:       energy,
-		AvgPowerMw:         energy / 1000 / (float64(horizon) / 1e9),
+		AvgPowerMw:         energy / 1000 / horizon.Seconds(),
 		FaultsInjected:     r.faultsInjected,
 		JobsAborted:        r.jobsAborted,
 		DMARetries:         r.dmaRetries,
@@ -361,6 +364,8 @@ func RunWithFaults(set *task.Set, plat cost.Platform, pol core.Policy, horizon s
 // effJitter is a task's effective release window: its configured jitter
 // plus the plan's worst-case injected delay, clamped below the period so
 // releases stay ordered. Without a plan it equals t.Jitter.
+//
+//rtmdm:hotpath
 func (r *runner) effJitter(t *task.Task) sim.Duration {
 	j := t.Jitter + r.plan.MaxReleaseDelay()
 	if j >= t.Period {
@@ -369,6 +374,7 @@ func (r *runner) effJitter(t *task.Task) sim.Duration {
 	return j
 }
 
+//rtmdm:hotpath
 func (r *runner) emit(k trace.Kind, j *job, seg int, bytes int64) {
 	r.tr.Add(trace.Event{
 		At: r.eng.Now(), Kind: k, Task: j.name(), Job: j.idx, Segment: seg, Bytes: bytes,
@@ -380,7 +386,7 @@ func (r *runner) emit(k trace.Kind, j *job, seg int, bytes int64) {
 // any sporadic delay the fault plan injects (clamped to the effective
 // jitter window so release order and the trace invariants hold).
 func (r *runner) scheduleRelease(rt *rtask, k int) {
-	nominal := rt.t.Offset + sim.Duration(k)*rt.t.Period
+	nominal := core.SatAddTime(rt.t.Offset, core.SatMulTime(rt.t.Period, int64(k)))
 	if nominal >= r.horizon {
 		return
 	}
@@ -398,6 +404,8 @@ func (r *runner) scheduleRelease(rt *rtask, k int) {
 // releaseJitter derives a deterministic delay in [0, max] from the task
 // name and job index (splitmix64-style hash), so jittered runs stay
 // bit-reproducible.
+//
+//rtmdm:hotpath
 func releaseJitter(name string, k int, max sim.Duration) sim.Duration {
 	if max <= 0 {
 		return 0
@@ -555,6 +563,8 @@ func (r *runner) headJobs() []*job {
 }
 
 // cpuEligible reports whether j could occupy the CPU next.
+//
+//rtmdm:hotpath
 func (r *runner) cpuEligible(j *job) bool {
 	if j.done || !j.staged() {
 		return false

@@ -181,7 +181,7 @@ func simHorizon(s *task.Set, cap sim.Duration) sim.Duration {
 			maxT = tk.Period
 		}
 	}
-	h := 20 * maxT
+	h := core.SatMulTime(maxT, 20)
 	if h > cap {
 		h = cap
 	}

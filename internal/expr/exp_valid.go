@@ -51,7 +51,7 @@ func runT8(cfg Config) (*Table, error) {
 					if !okB || tm.MaxResponse == 0 {
 						continue
 					}
-					ratio := float64(bound) / float64(tm.MaxResponse)
+					ratio := float64(bound) / float64(tm.MaxResponse) //lint:allow millitime -- bound/observed pessimism ratio; dimensionless
 					sumR += ratio
 					cnt++
 					if ratio > maxR {

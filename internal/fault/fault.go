@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rtmdm/internal/core"
 	"rtmdm/internal/sim"
 )
 
@@ -234,7 +235,7 @@ func New(cfg Config, horizon sim.Duration) (*Plan, error) {
 
 	if cfg.DMASlowdownRatePerSec > 0 && cfg.DMASlowdownMs > 0 {
 		meanGapNs := 1e9 / cfg.DMASlowdownRatePerSec
-		lenNs := sim.Duration(cfg.DMASlowdownMs * 1e6)
+		lenNs := sim.Duration(cfg.DMASlowdownMs * 1e6) //lint:allow millitime -- plan-compile boundary: float ms from config, bounds-checked below
 		if lenNs <= 0 {
 			lenNs = 1
 		}
@@ -242,7 +243,7 @@ func New(cfg Config, horizon sim.Duration) (*Plan, error) {
 		at := sim.Time(0)
 		const maxWindows = 1 << 20 // backstop against hostile rate×horizon
 		for len(p.windows) < maxWindows {
-			gap := sim.Duration(meanGapNs * (0.5 + rng.Float64()))
+			gap := sim.Duration(meanGapNs * (0.5 + rng.Float64())) //lint:allow millitime -- plan-compile boundary: Poisson gap drawn once per window, clamped to >= 1
 			if gap < 1 {
 				gap = 1
 			}
@@ -300,7 +301,7 @@ func (p *Plan) OverrunExtraNs(task string, job, seg int, computeNs int64) int64 
 	if p.factorMilliSpan > 0 {
 		milli += int64(p.draw(classFactor, task, int64(job), int64(seg), 0) % uint64(p.factorMilliSpan+1))
 	}
-	return computeNs * (milli - 1000) / 1000
+	return core.ScaleNsMilli(computeNs, milli-1000)
 }
 
 // ReleaseDelay returns the sporadic delay injected into job's release, or 0.
@@ -329,7 +330,7 @@ func (p *Plan) DMADerateNs(at sim.Time, workNs int64) int64 {
 	if !p.InSlowdown(at) {
 		return workNs
 	}
-	return workNs * p.dmaFactorMilli / 1000
+	return core.ScaleNsMilli(workNs, p.dmaFactorMilli)
 }
 
 // InSlowdown reports whether at falls inside a compiled slowdown window.

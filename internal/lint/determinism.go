@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the simulator's bit-reproducibility contract in
+// the sim-path packages: no ambient wall-clock reads, no global
+// (unseeded) math/rand, no environment reads, and no map iteration that
+// feeds an order-sensitive sink without an intervening sort. The driver
+// scopes this analyzer to internal/{sim,exec,core,trace,expr,workload,
+// fault,scenario,dse}; seeded *rand.Rand values are explicitly fine.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock, global rand, env reads, and unsorted " +
+		"order-sensitive map iteration in sim-path packages",
+	Run: runDeterminism,
+}
+
+// rand top-level functions that do NOT touch the global source: they
+// construct or wrap explicitly seeded generators.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// fmtOutputFuncs are the fmt functions whose output ordering is
+// observable (all of them — Sprint* and Errorf feed errors and strings
+// whose content then depends on iteration order).
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkForbiddenRef(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// pkgFunc resolves a selector to a package-level function, returning its
+// package path and name ("" when it is something else: a method, a
+// variable, a field).
+func pkgFunc(pass *Pass, sel *ast.SelectorExpr) (pkgPath, name string) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", "" // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+func checkForbiddenRef(pass *Pass, sel *ast.SelectorExpr) {
+	pkg, name := pkgFunc(pass, sel)
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Sleep", "Until":
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; sim paths must use virtual sim.Time only", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if name != "" && !randConstructors[name] {
+			pass.Reportf(sel.Pos(), "rand.%s draws from the global source; use an explicitly seeded *rand.Rand", name)
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(sel.Pos(), "os.%s makes simulation behaviour depend on the environment; thread configuration explicitly", name)
+		}
+	}
+}
+
+// checkMapRange flags `range m` over a map whose body feeds an
+// order-sensitive sink: fmt output or trace emission directly, or append
+// into a variable declared outside the loop that is never subsequently
+// sorted in the enclosing function.
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// appendTargets: outer variables accumulated into from inside the loop.
+	type target struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var targets []target
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[id]
+				}
+				// Only accumulation into variables that outlive the loop
+				// is order-sensitive.
+				if obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End()) {
+					targets = append(targets, target{obj: obj, pos: n})
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				pkg, name := pkgFunc(pass, sel)
+				if pkg == "fmt" && fmtOutputFuncs[name] {
+					pass.Reportf(n.Pos(), "fmt.%s inside map iteration emits in nondeterministic order; iterate sorted keys", name)
+				}
+				if isTraceEmission(pass, sel) {
+					pass.Reportf(n.Pos(), "trace emission inside map iteration records events in nondeterministic order; iterate sorted keys")
+				}
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return
+	}
+	fnBody := enclosingFuncBody(file, rs)
+	for _, t := range targets {
+		if !sortedAfter(pass, fnBody, rs, t.obj) {
+			pass.Reportf(t.pos.Pos(),
+				"append to %q inside map iteration without a later sort makes its order nondeterministic; sort it (or the keys) before use",
+				t.obj.Name())
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isTraceEmission reports whether sel names a method or function of the
+// repo's trace package (Trace.Add and friends), or any method literally
+// named Emit/emit — the executor's conventional wrapper names.
+func isTraceEmission(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name == "Emit" || sel.Sel.Name == "emit" {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(fn.Pkg().Path(), "internal/trace")
+}
+
+// pkgPathIs reports whether path is exactly suffix or ends in "/"+suffix,
+// so analyzers recognise repo packages regardless of the module name the
+// fixture tree is loaded under.
+func pkgPathIs(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	const sep = "/"
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1:] == sep+suffix
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration containing n (or nil at package scope).
+func enclosingFuncBody(file *ast.File, n ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(cand ast.Node) bool {
+		if cand == nil {
+			return false
+		}
+		if cand.Pos() > n.Pos() || cand.End() < n.End() {
+			return false
+		}
+		switch cand := cand.(type) {
+		case *ast.FuncDecl:
+			if cand.Body != nil {
+				body = cand.Body
+			}
+		case *ast.FuncLit:
+			body = cand.Body
+		}
+		return true
+	})
+	return body
+}
+
+// sortedAfter reports whether, lexically after rs within body, obj is
+// passed to a sort.* or slices.* call — the "intervening sort" that
+// restores a deterministic order before the accumulated slice is used.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, _ := pkgFunc(pass, sel)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc pins the zero-allocation property of functions annotated
+// with a //rtmdm:hotpath doc-comment directive (the event-slab kernel,
+// the executor's dispatch predicates, the metrics mutators). Inside an
+// annotated function it flags the constructs that heap-allocate per
+// call:
+//
+//   - any fmt.* call (formatting allocates),
+//   - string concatenation with +,
+//   - append to a slice declared in the function without capacity
+//     (fresh, un-capped backing array growth),
+//   - boxing a concrete value into an interface (explicit conversions
+//     and non-constant arguments to ...any variadics), and
+//   - function literals that are not immediately invoked (escaping
+//     closures).
+//
+// Cold paths inside hot functions (panic formatting, error exits) are
+// suppressed case-by-case with //lint:allow hotpathalloc -- <reason>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs inside //rtmdm:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// hotPathDirective marks a function as allocation-free by contract.
+const hotPathDirective = "//rtmdm:hotpath"
+
+// isHotPath reports whether the function's doc comment carries the
+// directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathDirective || strings.HasPrefix(c.Text, hotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathAlloc(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	freshSlices := collectFreshSlices(pass, fd)
+	invoked := immediatelyInvokedLits(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, freshSlices)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates on the hot path; precompute or use a reused buffer")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if !invoked[n] {
+				pass.Reportf(n.Pos(), "closure allocates when it escapes; hoist it to a method or pre-bind it outside the hot path")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, un-capped appends and interface boxing
+// at one call site.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, fresh map[types.Object]bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg, name := pkgFunc(pass, sel); pkg == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates on the hot path", name)
+			return // don't double-report its variadic boxing
+		}
+	}
+	if isBuiltinAppend(pass, call) && len(call.Args) > 0 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && fresh[obj] {
+				pass.Reportf(call.Pos(), "append to %q grows a fresh un-capped slice; pre-size it with make(..., 0, n) or reuse a buffer", id.Name)
+			}
+		}
+		return
+	}
+	checkBoxing(pass, call)
+	checkInterfaceConversion(pass, call)
+}
+
+// checkBoxing flags non-constant concrete arguments passed to a ...any
+// variadic (each one boxes).
+func checkBoxing(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis != token.NoPos {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return
+	}
+	iface, ok := slice.Elem().Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return
+	}
+	for _, arg := range call.Args[sig.Params().Len()-1:] {
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Value != nil {
+			continue
+		}
+		if _, isIface := at.Type.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to a ...any parameter boxes it on the hot path", at.Type)
+	}
+}
+
+// checkInterfaceConversion flags explicit conversions of non-constant
+// concrete values to interface types.
+func checkInterfaceConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	at, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || at.Value != nil {
+		return
+	}
+	if _, isIface := at.Type.Underlying().(*types.Interface); isIface {
+		return
+	}
+	pass.Reportf(call.Pos(), "converting %s to an interface boxes it on the hot path", at.Type)
+}
+
+// collectFreshSlices finds slice variables declared inside fd with no
+// capacity: `var s []T`, `s := []T{}`, `s := make([]T, 0)`. Appending to
+// these grows a new backing array; appending to parameters, fields or
+// pre-capped slices is amortized reuse and stays unflagged.
+func collectFreshSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		if rhs == nil { // var s []T
+			fresh[obj] = true
+			return
+		}
+		switch rhs := rhs.(type) {
+		case *ast.CompositeLit:
+			if len(rhs.Elts) == 0 {
+				fresh[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := rhs.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					if len(rhs.Args) < 3 && lenIsZero(pass, rhs) {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					note(id, n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					note(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// lenIsZero reports whether make's length argument is the literal 0 (or
+// absent, which cannot happen for slices).
+func lenIsZero(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// immediatelyInvokedLits returns the function literals that appear as
+// the callee of a call expression (`func(){...}()`, including deferred
+// ones) — these do not escape.
+func immediatelyInvokedLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rtmdm/internal/lint"
+	"rtmdm/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism")
+}
+
+func TestMilliTime(t *testing.T) {
+	linttest.Run(t, lint.MilliTime, "millitime")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc")
+}
+
+func TestMetricName(t *testing.T) {
+	old := lint.MetricCatalog
+	lint.MetricCatalog = map[string]bool{
+		"exec.runs":            true,
+		"exec.job_response_ns": true,
+	}
+	defer func() { lint.MetricCatalog = old }()
+	linttest.Run(t, lint.MetricName, "metricname")
+}
+
+// TestNamesMatchesAll pins the catalogue-order name list the docs and
+// driver both rely on.
+func TestNamesMatchesAll(t *testing.T) {
+	want := []string{"determinism", "millitime", "hotpathalloc", "metricname"}
+	got := lint.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

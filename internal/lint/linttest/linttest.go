@@ -1,0 +1,145 @@
+// Package linttest runs a lint.Analyzer over a golden fixture package
+// and checks its findings against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own
+// dependency-free framework.
+//
+// Expectations are written on the line they apply to:
+//
+//	x := rand.Intn(5) // want "global source"
+//
+// Each quoted string is a regular expression that must match the message
+// of one diagnostic reported on that line; conversely every diagnostic
+// must be matched by an expectation, so fixtures fail loudly on both
+// false positives and false negatives. Lines carrying a //lint:allow
+// directive and no want comment double as suppression golden cases.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtmdm/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader per test process: the initial
+// `go list -export` of the module closure dominates load time, so every
+// analyzer test reuses it.
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest: building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// wantRe extracts the quoted regexes of a `// want` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want-regex.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads testdata/src/<fixture> relative to the caller's package
+// directory, runs the analyzer (with suppressions applied), and
+// diffs findings against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("rtmdm-lint-fixture/"+fixture, dir)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect expectations from raw source lines.
+	var wants []*expectation
+	for fname, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(comment, -1)
+			if len(ms) == 0 {
+				t.Errorf("%s:%d: malformed want comment (no quoted regex)", fname, i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", fname, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: fname, line: i + 1, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

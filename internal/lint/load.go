@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Src holds each file's raw bytes (keyed by filename) for the
+	// suppression scanner's line-shape checks.
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Loader type-checks repository packages using only the standard
+// library: package metadata and compiled export data come from
+// `go list -export -json`, and imports resolve through the stdlib gc
+// importer reading those export files. This is the dependency-gated
+// stand-in for golang.org/x/tools/go/packages, which the build
+// environment does not vendor.
+type Loader struct {
+	// ModuleDir is the module root every `go list` invocation runs in.
+	ModuleDir string
+
+	fset *token.FileSet
+	pkgs map[string]*listedPkg
+	gc   types.ImporterFrom
+}
+
+// NewLoader lists the module's full non-test dependency closure
+// (compiling export data as a side effect) rooted at moduleDir.
+func NewLoader(moduleDir string) (*Loader, error) {
+	l := &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		pkgs:      map[string]*listedPkg{},
+	}
+	gc, ok := importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: gc importer does not implement ImporterFrom")
+	}
+	l.gc = gc
+	if err := l.list("./..."); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// list merges `go list -export -deps -json` output for the patterns into
+// the loader's package table.
+func (l *Loader) list(patterns ...string) error {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		l.pkgs[p.ImportPath] = &p
+	}
+	return nil
+}
+
+// lookupExport opens the export data file for an import path, listing it
+// on demand when outside the already-known closure.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p, ok := l.pkgs[path]
+	if !ok || p.Export == "" {
+		if err := l.list(path); err != nil {
+			return nil, err
+		}
+		p, ok = l.pkgs[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+	}
+	return os.Open(p.Export)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom by delegating to the gc
+// export-data importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.gc.ImportFrom(path, dir, mode)
+}
+
+// Roots returns the import paths of the module's own packages: the
+// non-standard members of the listed closure whose source lives under
+// ModuleDir, sorted for deterministic iteration.
+func (l *Loader) Roots() []string {
+	prefix := l.ModuleDir + string(filepath.Separator)
+	var out []string
+	for p, lp := range l.pkgs {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Dir == l.ModuleDir || strings.HasPrefix(lp.Dir, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadImportPath loads and type-checks one already-listed package.
+func (l *Loader) LoadImportPath(path string) (*Package, error) {
+	p, ok := l.pkgs[path]
+	if !ok {
+		if err := l.list(path); err != nil {
+			return nil, err
+		}
+		if p, ok = l.pkgs[path]; !ok {
+			return nil, fmt.Errorf("lint: unknown package %q", path)
+		}
+	}
+	var files []string
+	for _, f := range p.GoFiles {
+		files = append(files, filepath.Join(p.Dir, f))
+	}
+	return l.load(path, p.Dir, files)
+}
+
+// LoadDir loads a directory of Go files directly (no `go list`), used
+// for testdata fixture packages the go tool refuses to enumerate. Test
+// files are skipped; importPath is the identity the type-checker records.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.load(importPath, dir, files)
+}
+
+// load parses and type-checks one package from explicit file paths.
+func (l *Loader) load(importPath, dir string, filenames []string) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Src:        map[string][]byte{},
+	}
+	for _, fn := range filenames {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Src[fn] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

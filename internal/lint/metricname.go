@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// MetricName enforces the docs/OBSERVABILITY.md metric catalogue at the
+// registration call site: every metrics.Registry.Counter/Gauge/Histogram
+// call must pass a string literal (so the docsync contract can be
+// checked statically at all), and the literal must appear in the
+// catalogue. This is the same contract docsync_test.go checks at
+// runtime, moved to where the name is written.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "metric registrations must use string literals from the " +
+		"docs/OBSERVABILITY.md catalogue",
+	Run: runMetricName,
+}
+
+// MetricCatalog is the set of documented metric names, loaded by the
+// driver from docs/OBSERVABILITY.md (and set directly by tests). When
+// nil, only literal-ness is enforced — membership cannot be checked
+// without a catalogue.
+var MetricCatalog map[string]bool
+
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runMetricName(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isRegistryMethod(pass, sel) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a string literal so the catalogue check can see it; got a computed expression")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if MetricCatalog != nil && !MetricCatalog[name] {
+				pass.Reportf(lit.Pos(),
+					"metric %q is not in the docs/OBSERVABILITY.md catalogue; document it (or fix the name) before registering it", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isRegistryMethod reports whether sel resolves to a method of
+// *metrics.Registry.
+func isRegistryMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && pkgPathIs(obj.Pkg().Path(), "internal/metrics")
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MilliTime guards the checked-arithmetic contract on virtual time
+// (PR-3's overflow class: Time.String's MinInt64 recursion came from one
+// unchecked ms conversion). It flags
+//
+//   - conversions between sim.Time and floating point in either
+//     direction (precision loss / silent wrap on the way back), and
+//   - non-constant multiplies involving a sim.Time operand, which must
+//     route through the checked helpers in internal/core
+//     (core.SatMulTime, core.ScaleTimeMilli), and
+//   - non-constant multiplies on raw int64 identifiers spelled like
+//     milli/nano-scaled quantities (…Ns, …Ms, …Us) — the naming
+//     convention the codebase uses for ms-scaled scalars that have not
+//     been lifted into sim.Time.
+//
+// Constant expressions are exempt (the compiler rejects overflowing
+// constants), as are methods declared on sim.Time itself — the type's
+// own accessors (String, Seconds) are the blessed conversion boundary.
+var MilliTime = &Analyzer{
+	Name: "millitime",
+	Doc: "flag float arithmetic on sim.Time and unchecked multiplies " +
+		"on milli-scaled quantities outside the checked helpers",
+	Run: runMilliTime,
+}
+
+func runMilliTime(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvIsSimTime(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkTimeConversion(pass, n)
+				case *ast.BinaryExpr:
+					checkTimeArith(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isSimTime reports whether t is the simulator's Time type (Duration is
+// an alias of it, so both spellings resolve here).
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Time" || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathIs(obj.Pkg().Path(), "internal/sim")
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func recvIsSimTime(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isSimTime(t)
+}
+
+// checkTimeConversion flags non-constant conversions between sim.Time
+// and floating point, in either direction.
+func checkTimeConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if whole, ok := pass.TypesInfo.Types[call]; ok && whole.Value != nil {
+		return // constant conversion, checked by the compiler
+	}
+	argT, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch {
+	case isFloat(tv.Type) && isSimTime(argT.Type):
+		pass.Reportf(call.Pos(), "float conversion of sim.Time loses ns precision past 2^53; use Time.Seconds at the presentation boundary or keep integer math")
+	case isSimTime(tv.Type) && isFloat(argT.Type):
+		pass.Reportf(call.Pos(), "converting float to sim.Time can silently wrap; derive times with integer math or the checked helpers in internal/core")
+	}
+}
+
+// checkTimeArith flags non-constant multiplies where either operand is
+// sim.Time, and — as a naming heuristic — non-constant multiplies on
+// integer identifiers suffixed Ns/Ms/Us.
+func checkTimeArith(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.MUL {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[be]; ok && tv.Value != nil {
+		return // constant-folded: overflow is a compile error
+	}
+	xt, xok := pass.TypesInfo.Types[be.X]
+	yt, yok := pass.TypesInfo.Types[be.Y]
+	if !xok || !yok {
+		return
+	}
+	if isSimTime(xt.Type) || isSimTime(yt.Type) {
+		pass.Reportf(be.Pos(), "unchecked multiply on sim.Time can overflow int64 ns; use core.SatMulTime or core.ScaleTimeMilli")
+		return
+	}
+	if scaledName(pass, be.X) || scaledName(pass, be.Y) {
+		pass.Reportf(be.Pos(), "unchecked multiply on a milli/nano-scaled quantity; lift it into sim.Time and use the checked helpers in internal/core")
+	}
+}
+
+// scaledName reports whether e is a non-constant integer identifier or
+// field selector whose name follows the …Ns/…Ms/…Us convention.
+func scaledName(pass *Pass, e ast.Expr) bool {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr: // accessor methods like t.ComputeNs()
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	default:
+		return false
+	}
+	if !strings.HasSuffix(name, "Ns") && !strings.HasSuffix(name, "Ms") && !strings.HasSuffix(name, "Us") {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive:
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// silences one analyzer's findings on the directive's own line, or — when
+// the directive stands alone on a line — on the line immediately below it.
+// The reason is mandatory: a directive without "-- <reason>" is itself
+// reported, so every suppression in the tree carries a written
+// justification a reviewer can audit.
+
+const allowPrefix = "//lint:allow "
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	// line is the source line the directive suppresses (its own line for
+	// trailing comments, the following line for standalone ones).
+	line int
+}
+
+// parseAllows extracts the directives of one file. Malformed directives
+// (no "-- reason") are reported into bad.
+func parseAllows(pkg *Package, file *ast.File, bad *[]Diagnostic) []allowDirective {
+	var out []allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			name, reason, ok := strings.Cut(rest, "--")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			if !ok || name == "" || reason == "" {
+				*bad = append(*bad, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "lint",
+					Message:  "malformed //lint:allow directive: want \"//lint:allow <analyzer> -- <reason>\"",
+				})
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			if startsLine(pkg, c) {
+				line++ // standalone directive covers the next line
+			}
+			out = append(out, allowDirective{analyzer: name, reason: reason, pos: c.Pos(), line: line})
+		}
+	}
+	return out
+}
+
+// startsLine reports whether only whitespace precedes comment c on its
+// source line (a standalone directive rather than a trailing one).
+func startsLine(pkg *Package, c *ast.Comment) bool {
+	pos := pkg.Fset.Position(c.Pos())
+	src := pkg.Src[pos.Filename]
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// filterSuppressed drops diagnostics covered by a matching //lint:allow
+// directive. Only directives naming this analyzer (or "all") match.
+// Malformed directives are appended as findings exactly once per package
+// run (reportBad), so the suite never stacks four copies.
+func filterSuppressed(pkg *Package, analyzer string, diags []Diagnostic, reportBad bool) []Diagnostic {
+	var bad []Diagnostic
+	allowed := map[string]map[int]bool{} // filename -> suppressed lines
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		for _, d := range parseAllows(pkg, f, &bad) {
+			if d.analyzer != analyzer && d.analyzer != "all" {
+				continue
+			}
+			if allowed[fname] == nil {
+				allowed[fname] = map[int]bool{}
+			}
+			allowed[fname][d.line] = true
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if allowed[p.Filename][p.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	if reportBad {
+		out = append(out, bad...)
+	}
+	return out
+}

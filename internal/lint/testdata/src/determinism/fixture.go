@@ -1,0 +1,85 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: wall-clock reads, global rand, env reads and unsorted
+// order-sensitive map iteration are flagged; seeded *rand.Rand use,
+// sorted iteration and //lint:allow-suppressed lines are not.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func allowedWallClock() time.Time {
+	//lint:allow determinism -- harness-side timing, never feeds simulation state
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global source"
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors of seeded generators are fine
+	return rng.Intn(6)
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "environment"
+}
+
+func mapRangeAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "without a later sort"
+	}
+	return keys
+}
+
+func mapRangeSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: deterministic
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapRangePrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "nondeterministic order"
+	}
+}
+
+func mapRangeAllowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow determinism -- consumed as a set; order never observed
+	}
+	return keys
+}
+
+func sliceRangeFine(xs []string, out []string) []string {
+	for _, x := range xs {
+		out = append(out, x) // ranging a slice is ordered
+	}
+	return out
+}

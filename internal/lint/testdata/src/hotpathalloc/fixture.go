@@ -1,0 +1,77 @@
+// Package hotpathalloc is the golden fixture for the hotpathalloc
+// analyzer: allocating constructs inside //rtmdm:hotpath functions are
+// flagged; the same constructs in unannotated functions, pre-capped
+// appends, immediately-invoked literals and suppressed lines are not.
+package hotpathalloc
+
+import "fmt"
+
+var sink func()
+
+//rtmdm:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf allocates"
+}
+
+//rtmdm:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//rtmdm:hotpath
+func hotAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "un-capped slice"
+	}
+	return out
+}
+
+//rtmdm:hotpath
+func hotAppendCapped(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i) // pre-sized: amortized, fine
+	}
+	return out
+}
+
+//rtmdm:hotpath
+func hotAppendParam(out []int, v int) []int {
+	return append(out, v) // caller-owned buffer: fine
+}
+
+//rtmdm:hotpath
+func hotClosure(x int) {
+	sink = func() { _ = x } // want "closure"
+}
+
+//rtmdm:hotpath
+func hotInvokedLit(x int) int {
+	return func() int { return x + 1 }() // immediately invoked: does not escape
+}
+
+//rtmdm:hotpath
+func hotBox(v int64) any {
+	return any(v) // want "boxes"
+}
+
+func sinkArgs(args ...any) {}
+
+//rtmdm:hotpath
+func hotVariadic(v int64) {
+	sinkArgs(v) // want "boxes"
+}
+
+//rtmdm:hotpath
+func hotPanic(x int) {
+	if x < 0 {
+		//lint:allow hotpathalloc -- cold panic path; allocation is irrelevant mid-crash
+		panic(fmt.Sprintf("negative %d", x))
+	}
+}
+
+// coldFmt is not annotated, so nothing in it is flagged.
+func coldFmt(x int) string {
+	return fmt.Sprintf("%d", x)
+}

@@ -1,0 +1,25 @@
+// Package metricname is the golden fixture for the metricname analyzer.
+// Its test installs a catalogue containing only "exec.runs" and
+// "exec.job_response_ns", so every other registration is off-catalogue.
+package metricname
+
+import "rtmdm/internal/metrics"
+
+func register(r *metrics.Registry, dynamic string) {
+	r.Counter("exec.runs", "runs", "completed executor simulations") // in catalogue: fine
+	r.Counter("exec.bogus_metric", "x", "not documented")            // want "not in the docs/OBSERVABILITY.md catalogue"
+	r.Gauge(dynamic, "x", "computed name")                           // want "string literal"
+	r.Histogram("exec.job_response_ns", "ns", "documented", []int64{1, 2})
+	//lint:allow metricname -- experimental metric, catalogue entry lands with the dashboard PR
+	r.Histogram("exec.experimental", "ns", "prototype", []int64{1, 2})
+}
+
+// otherCounter is not a Registry method, so its string argument is not a
+// metric registration.
+type otherCounter struct{}
+
+func (otherCounter) Counter(name, unit, help string) {}
+
+func notARegistry(o otherCounter) {
+	o.Counter("whatever.name", "x", "different type entirely")
+}

@@ -1,0 +1,54 @@
+// Package millitime is the golden fixture for the millitime analyzer:
+// float conversions of sim.Time and unchecked multiplies are flagged;
+// constant expressions, non-sim types and suppressed lines are not.
+package millitime
+
+import "rtmdm/internal/sim"
+
+// Constant arithmetic is compiler-checked and stays unflagged.
+const tick = 250 * sim.Microsecond
+
+func toFloat(t sim.Time) float64 {
+	return float64(t) // want "float conversion of sim.Time"
+}
+
+func fromFloat(ms float64) sim.Duration {
+	return sim.Duration(ms * 1e6) // want "float to sim.Time"
+}
+
+func scale(t sim.Time, k int64) sim.Time {
+	return t * sim.Time(k) // want "unchecked multiply on sim.Time"
+}
+
+func grid(period sim.Duration, k int) sim.Time {
+	return sim.Duration(k) * period // want "unchecked multiply on sim.Time"
+}
+
+func msHeuristic(computeNs int64, factor int64) int64 {
+	return computeNs * factor // want "milli/nano-scaled quantity"
+}
+
+func allowedPresentation(t sim.Time) float64 {
+	//lint:allow millitime -- plot-axis scaling; precision loss is acceptable at render time
+	return float64(t)
+}
+
+func secondsIsBlessed(t sim.Time) float64 {
+	return t.Seconds() // the Time API is the conversion boundary
+}
+
+// localNs is scaled-looking but not sim.Time; only the name heuristic
+// applies to values of it, keyed on the value's name, not the type's.
+type localNs int64
+
+func localType(a, b localNs) localNs {
+	return a * b // non-sim named type, idents without Ns suffix: fine
+}
+
+func divisionFine(t sim.Time, n int64) sim.Time {
+	return t / sim.Time(n) // division cannot overflow the ns scale
+}
+
+func additionFine(t sim.Time, d sim.Duration) sim.Time {
+	return t + d // addition is guarded by the kernel's causality panics
+}

@@ -38,6 +38,8 @@ type Counter struct {
 }
 
 // Add increments the counter by d (no-op on nil).
+//
+//rtmdm:hotpath
 func (c *Counter) Add(d int64) {
 	if c != nil {
 		c.v.Add(d)
@@ -63,6 +65,8 @@ type Gauge struct {
 }
 
 // Set stores v (no-op on nil).
+//
+//rtmdm:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -78,6 +82,8 @@ func (g *Gauge) Add(d int64) {
 
 // SetMax raises the gauge to v if v exceeds the current value (no-op on
 // nil). It is the high-water-mark primitive: lock-free and monotonic.
+//
+//rtmdm:hotpath
 func (g *Gauge) SetMax(v int64) {
 	if g == nil {
 		return
@@ -113,6 +119,8 @@ type Histogram struct {
 }
 
 // Observe records one value (no-op on nil).
+//
+//rtmdm:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -123,7 +123,7 @@ func (sc *Scenario) Horizon() sim.Duration {
 	if ms <= 0 {
 		ms = 1000
 	}
-	return sim.Duration(ms * float64(sim.Millisecond))
+	return sim.Duration(ms * float64(sim.Millisecond)) //lint:allow millitime -- config-parse boundary: horizon given as float ms in the scenario file
 }
 
 // Resolve returns the platform and policy presets the scenario names.
@@ -224,9 +224,9 @@ func (sc *Scenario) Build() (*task.Set, cost.Platform, core.Policy, error) {
 		tk := &task.Task{
 			Name:     tsp.Name,
 			Plan:     pl,
-			Period:   sim.Duration(tsp.PeriodMs * float64(sim.Millisecond)),
-			Deadline: sim.Duration(deadlineMs * float64(sim.Millisecond)),
-			Offset:   sim.Duration(tsp.OffsetMs * float64(sim.Millisecond)),
+			Period:   sim.Duration(tsp.PeriodMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
+			Deadline: sim.Duration(deadlineMs * float64(sim.Millisecond)),   //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
+			Offset:   sim.Duration(tsp.OffsetMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
 		}
 		if tsp.Priority != nil {
 			tk.Priority = *tsp.Priority

@@ -346,7 +346,7 @@ func ChunkedLoadNs(mem cost.MemProfile, bytes, chunkBytes int64) int64 {
 	}
 	full := bytes / chunkBytes
 	rem := bytes % chunkBytes
-	ns := full * mem.TransferNs(chunkBytes)
+	ns := full * mem.TransferNs(chunkBytes) //lint:allow millitime -- chunk count and per-chunk ns both bounded by validated model sizes; product << 2^63
 	if rem > 0 {
 		ns += mem.TransferNs(rem)
 	}

@@ -203,8 +203,11 @@ func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule registers fn to run at absolute virtual time at. Scheduling in
 // the past panics: it would silently corrupt causality.
+//
+//rtmdm:hotpath
 func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
+		//lint:allow hotpathalloc -- cold panic path; allocation is irrelevant mid-crash
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
@@ -233,8 +236,11 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 }
 
 // After registers fn to run d nanoseconds from now.
+//
+//rtmdm:hotpath
 func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
+		//lint:allow hotpathalloc -- cold panic path; allocation is irrelevant mid-crash
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
@@ -245,6 +251,8 @@ func (e *Engine) After(d Duration, fn func()) Event {
 // or a handle from a different engine is a harmless, documented no-op —
 // generation tags guarantee a stale handle can never cancel a later event
 // that happens to reuse the same slot.
+//
+//rtmdm:hotpath
 func (e *Engine) Cancel(ev Event) {
 	if ev.eng != e || ev.eng == nil {
 		return
@@ -265,6 +273,8 @@ func (e *Engine) Cancel(ev Event) {
 
 // Step executes the next event, advancing the clock to its timestamp. It
 // returns false when the queue is empty.
+//
+//rtmdm:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -330,6 +340,8 @@ func (e *Engine) RunAll(limit uint64) uint64 {
 }
 
 // less orders heap entries by (time, schedule sequence): FIFO at one instant.
+//
+//rtmdm:hotpath
 func less(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -341,6 +353,7 @@ func less(a, b heapEntry) bool {
 // cache lines per reheapify) and branch-cheap because the four children are
 // adjacent. Parent of i is (i-1)/4; children are 4i+1..4i+4.
 
+//rtmdm:hotpath
 func (e *Engine) siftUp(i int) {
 	h := e.heap
 	ent := h[i]
@@ -357,6 +370,7 @@ func (e *Engine) siftUp(i int) {
 	e.slots[ent.slot].heapIdx = int32(i)
 }
 
+//rtmdm:hotpath
 func (e *Engine) siftDown(i int) {
 	h := e.heap
 	n := len(h)
@@ -389,6 +403,8 @@ func (e *Engine) siftDown(i int) {
 
 // heapRemove deletes the entry at heap index i, preserving the heap
 // invariant and the slab's back-pointers.
+//
+//rtmdm:hotpath
 func (e *Engine) heapRemove(i int) {
 	n := len(e.heap) - 1
 	last := e.heap[n]

@@ -73,18 +73,18 @@ func (t *Task) LoadNs() int64 { return t.Plan.TotalLoadNs() }
 
 // CPUUtilization is compute demand over period.
 func (t *Task) CPUUtilization() float64 {
-	return float64(t.ComputeNs()) / float64(t.Period)
+	return float64(t.ComputeNs()) / float64(t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
 }
 
 // DMAUtilization is load demand over period.
 func (t *Task) DMAUtilization() float64 {
-	return float64(t.LoadNs()) / float64(t.Period)
+	return float64(t.LoadNs()) / float64(t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
 }
 
 // SerialUtilization is serial WCET over period — the utilization the
 // load-then-compute baseline must fit under 1.
 func (t *Task) SerialUtilization() float64 {
-	return float64(t.SerialWCET()) / float64(t.Period)
+	return float64(t.SerialWCET()) / float64(t.Period) //lint:allow millitime -- utilization ratio; dimensionless by construction
 }
 
 // Set is an ordered collection of tasks.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Perfetto / Chrome Trace Event Format export.
@@ -196,36 +197,32 @@ func ExportJSON(w io.Writer, tr *Trace, infos []TaskInfo) error {
 				Args: &tevArgs{Task: e.Task, Job: &job, Segment: &seg, Bytes: e.Bytes},
 			})
 		case Abort:
-			// Close whatever slice the job held open, truncated at the
+			// Close whatever slices the job held open, truncated at the
 			// abort instant (the platform interval really did end here).
-			for sk, start := range openCompute {
-				if sk.task != e.Task || sk.job != e.Job {
-					continue
+			// Keys are collected and sorted by segment first: map
+			// iteration order must never leak into the exported JSON.
+			closeOpen := func(open map[spanKey]int64, tid int, cat string) {
+				var keys []spanKey
+				for sk := range open {
+					if sk.task == e.Task && sk.job == e.Job {
+						keys = append(keys, sk)
+					}
 				}
-				s := sk.seg
-				dur := usec(int64(e.At) - start)
-				events = append(events, tev{
-					Name: fmt.Sprintf("%s#%d seg%d", sk.task, sk.job, sk.seg),
-					Ph:   phComplete, Ts: usec(start), Dur: &dur,
-					Pid: exportPid, Tid: cpuTid, Cat: "compute",
-					Args: &tevArgs{Task: sk.task, Job: &job, Segment: &s},
-				})
-				delete(openCompute, sk)
-			}
-			for sk, start := range openLoad {
-				if sk.task != e.Task || sk.job != e.Job {
-					continue
+				sort.Slice(keys, func(i, j int) bool { return keys[i].seg < keys[j].seg })
+				for _, sk := range keys {
+					s := sk.seg
+					dur := usec(int64(e.At) - open[sk])
+					events = append(events, tev{
+						Name: fmt.Sprintf("%s#%d seg%d", sk.task, sk.job, sk.seg),
+						Ph:   phComplete, Ts: usec(open[sk]), Dur: &dur,
+						Pid: exportPid, Tid: tid, Cat: cat,
+						Args: &tevArgs{Task: sk.task, Job: &job, Segment: &s},
+					})
+					delete(open, sk)
 				}
-				s := sk.seg
-				dur := usec(int64(e.At) - start)
-				events = append(events, tev{
-					Name: fmt.Sprintf("%s#%d seg%d", sk.task, sk.job, sk.seg),
-					Ph:   phComplete, Ts: usec(start), Dur: &dur,
-					Pid: exportPid, Tid: dmaTid, Cat: "load",
-					Args: &tevArgs{Task: sk.task, Job: &job, Segment: &s},
-				})
-				delete(openLoad, sk)
 			}
+			closeOpen(openCompute, cpuTid, "compute")
+			closeOpen(openLoad, dmaTid, "load")
 			events = append(events, tev{
 				Name: "abort", Ph: phInstant, Ts: usec(int64(e.At)),
 				Pid: exportPid, Tid: tid, S: instScopeT,

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"rtmdm/internal/core"
 	"rtmdm/internal/sim"
 )
 
@@ -314,7 +315,7 @@ func (tr *Trace) CheckInvariants(tasks []TaskInfo) error {
 			if !ok {
 				return fmt.Errorf("trace: release for unknown task %q", e.Task)
 			}
-			nominal := ti.Offset + sim.Duration(e.Job)*ti.Period
+			nominal := core.SatAddTime(ti.Offset, core.SatMulTime(ti.Period, int64(e.Job)))
 			if e.At < nominal || e.At > nominal+ti.Jitter {
 				return fmt.Errorf("trace: %s#%d released at %v, want within [%v, %v]",
 					e.Task, e.Job, e.At, nominal, nominal+ti.Jitter)

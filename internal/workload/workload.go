@@ -288,20 +288,20 @@ func generate(p Params) (SetSpec, error) {
 		if err != nil {
 			return SetSpec{}, err
 		}
-		period := sim.Duration(float64(demand) / shares[i])
+		period := sim.Duration(float64(demand) / shares[i]) //lint:allow millitime -- UUniFast share division at generation time; clamped to [MinPeriod, MaxPeriod]
 		if p.MinPeriod > 0 && period < p.MinPeriod {
 			period = p.MinPeriod
 		}
 		if p.MaxPeriod > 0 && period > p.MaxPeriod {
 			period = p.MaxPeriod
 		}
-		deadline := sim.Duration(float64(period) * p.DeadlineFrac)
+		deadline := sim.Duration(float64(period) * p.DeadlineFrac) //lint:allow millitime -- generation-time fraction of an already-clamped period
 		if deadline < 1 {
 			deadline = 1
 		}
 		spec.Tasks = append(spec.Tasks, TaskSpec{
 			Model: name, Seed: seed, Period: period, Deadline: deadline,
-			Jitter: sim.Duration(float64(period) * p.JitterFrac),
+			Jitter: sim.Duration(float64(period) * p.JitterFrac), //lint:allow millitime -- generation-time fraction of an already-clamped period
 		})
 	}
 	return spec, nil
