@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify vet lint race fuzz bench golden
+.PHONY: verify vet lint race fuzz bench golden smoke
 
 # Tier-1: build + full test suite.
 verify:
@@ -23,13 +23,15 @@ lint:
 
 # Race tier: vet plus the race detector on the concurrent packages.
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server
 
-# Fuzz smoke: a short coverage-guided run of the scenario parser/builder
-# (the fuzz engine takes one -fuzz target at a time; FuzzParse also drives
-# Build and FaultPlan on every accepted input).
+# Fuzz smoke: short coverage-guided runs of the scenario parser/builder
+# and the canonical-hash round trip (the fuzz engine takes one -fuzz
+# target at a time; FuzzParse also drives Build and FaultPlan on every
+# accepted input).
 fuzz:
 	$(GO) test -run='^FuzzParse$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/scenario
+	$(GO) test -run='^FuzzCanonicalHash$$' -fuzz='^FuzzCanonicalHash$$' -fuzztime=10s ./internal/scenario
 
 # The load-bearing benchmarks (compare with benchstat; -count=5 minimum).
 bench:
@@ -38,3 +40,9 @@ bench:
 # Byte-identity smoke: quick tables to stdout for diffing against a baseline.
 golden:
 	$(GO) run ./cmd/rtmdm-bench -all -quick -csv
+
+# Service smoke: build rtmdm-serve + rtmdm-loadgen, drive a live server,
+# require the cache-hit path to be >= 10x faster than cold analyze, and
+# assert a clean drain on SIGTERM. See docs/SERVER.md.
+smoke:
+	./scripts/smoke.sh

@@ -1,0 +1,314 @@
+// Command rtmdm-loadgen drives an rtmdm-serve instance with a
+// configurable request mix and reports latency percentiles, throughput,
+// and the cache speedup (cold analyze p50 over cache-hit p50).
+//
+// Usage:
+//
+//	rtmdm-loadgen -url http://localhost:8080 [-concurrency 8]
+//	              [-duration 10s] [-mix analyze=4,simulate=4,admit=2]
+//	              [-cold 16] [-quick] [-min-speedup 0]
+//
+// The run has two phases: a calibration phase that measures the cold
+// (cache-miss) and hot (cache-hit) analyze paths on distinct scenarios,
+// then a mixed-load phase at the requested concurrency. -quick shrinks
+// both for CI smoke tests; -min-speedup N fails the process if the
+// measured cache speedup is below N×.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type sample struct {
+	endpoint string
+	cache    string // X-Rtmdm-Cache header, "" for admit
+	status   int
+	latency  time.Duration
+}
+
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (c *collector) add(s sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p / 100 * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// client wraps the HTTP plumbing shared by all phases.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path, body string) (status int, cache string, latency time.Duration, err error) {
+	start := time.Now()
+	resp, err := c.http.Post(c.base+path, "application/json", strings.NewReader(body))
+	latency = time.Since(start)
+	if err != nil {
+		return 0, "", latency, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Rtmdm-Cache"), latency, nil
+}
+
+// scenarioJSON builds a small two-task scenario whose identity varies
+// with variant, so distinct variants are distinct cache keys.
+func scenarioJSON(variant int) string {
+	period := 40 + 2*(variant%20)
+	return fmt.Sprintf(`{"horizon_ms": 200, "tasks": [
+		{"name": "kws", "model": "ds-cnn", "period_ms": %d},
+		{"name": "ae", "model": "autoencoder", "period_ms": %d}
+	]}`, period, 2*period)
+}
+
+func analyzeBody(variant int) string {
+	return fmt.Sprintf(`{"scenario": %s, "policies": ["rt-mdm", "serial-segfp"]}`, scenarioJSON(variant))
+}
+
+func simulateBody(variant int) string {
+	return fmt.Sprintf(`{"scenario": %s}`, scenarioJSON(variant))
+}
+
+func admitBody(id uint64, node string, taskIdx int) string {
+	return fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {
+		"name": "t%d", "model": "lenet5", "period_ms": %d
+	}}`, id, node, taskIdx, 80+5*(taskIdx%10))
+}
+
+func parseMix(spec string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "analyze", "simulate", "admit":
+			mix[kv[0]] = w
+		default:
+			return nil, fmt.Errorf("unknown endpoint %q in mix", kv[0])
+		}
+	}
+	return mix, nil
+}
+
+func waitHealthy(c *client, deadline time.Duration) error {
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		resp, err := c.http.Get(c.base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not healthy after %v", c.base, deadline)
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://localhost:8080", "rtmdm-serve base URL")
+		concurrency = flag.Int("concurrency", 8, "mixed-phase worker count")
+		duration    = flag.Duration("duration", 10*time.Second, "mixed-phase length")
+		mixSpec     = flag.String("mix", "analyze=4,simulate=4,admit=2", "endpoint weights")
+		cold        = flag.Int("cold", 16, "distinct scenarios in the calibration phase")
+		quick       = flag.Bool("quick", false, "CI smoke preset: -concurrency 4 -duration 2s -cold 8")
+		minSpeedup  = flag.Float64("min-speedup", 0, "fail unless cache speedup (cold p50 / hit p50) reaches this factor")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request client timeout")
+		healthWait  = flag.Duration("health-wait", 10*time.Second, "how long to wait for /healthz")
+	)
+	flag.Parse()
+	if *quick {
+		*concurrency, *duration, *cold = 4, 2*time.Second, 8
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", err)
+		os.Exit(2)
+	}
+
+	c := &client{base: strings.TrimRight(*url, "/"), http: &http.Client{Timeout: *reqTimeout}}
+	if err := waitHealthy(c, *healthWait); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rtmdm-loadgen: target %s\n", c.base)
+
+	speedup := calibrate(c, *cold)
+	runMixed(c, mix, *concurrency, *duration)
+
+	if *minSpeedup > 0 && speedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "rtmdm-loadgen: cache speedup %.1fx below required %.1fx\n", speedup, *minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// calibrate measures the cold (miss) and hot (hit) analyze paths and
+// returns the p50 speedup factor.
+func calibrate(c *client, cold int) float64 {
+	var coldLat, hotLat []time.Duration
+	for i := 0; i < cold; i++ {
+		status, cache, lat, err := c.post("/v1/analyze", analyzeBody(i))
+		if err != nil || status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "rtmdm-loadgen: cold analyze %d: status %d err %v\n", i, status, err)
+			os.Exit(1)
+		}
+		if cache == "miss" {
+			coldLat = append(coldLat, lat)
+		}
+	}
+	const hotRounds = 5
+	for r := 0; r < hotRounds; r++ {
+		for i := 0; i < cold; i++ {
+			status, cache, lat, err := c.post("/v1/analyze", analyzeBody(i))
+			if err != nil || status != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "rtmdm-loadgen: hot analyze %d: status %d err %v\n", i, status, err)
+				os.Exit(1)
+			}
+			if cache == "hit" {
+				hotLat = append(hotLat, lat)
+			}
+		}
+	}
+	coldP50, hotP50 := percentile(coldLat, 50), percentile(hotLat, 50)
+	fmt.Printf("cold analyze: n=%d p50=%v p90=%v\n", len(coldLat), coldP50, percentile(coldLat, 90))
+	fmt.Printf("hot  analyze: n=%d p50=%v p90=%v\n", len(hotLat), hotP50, percentile(hotLat, 90))
+	if hotP50 <= 0 || len(coldLat) == 0 {
+		fmt.Println("cache speedup: n/a")
+		return 0
+	}
+	speedup := float64(coldP50) / float64(hotP50)
+	fmt.Printf("cache speedup: %.1fx (cold p50 %v / hit p50 %v)\n", speedup, coldP50, hotP50)
+	return speedup
+}
+
+// runMixed fires the weighted endpoint mix from concurrent workers for
+// the configured duration and prints the per-endpoint report.
+func runMixed(c *client, mix map[string]int, concurrency int, duration time.Duration) {
+	var endpoints []string
+	for _, ep := range []string{"analyze", "simulate", "admit"} {
+		for i := 0; i < mix[ep]; i++ {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Println("mixed phase: empty mix, skipped")
+		return
+	}
+
+	col := &collector{}
+	var reqID atomic.Uint64
+	stop := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			node := fmt.Sprintf("node-%d", w)
+			taskIdx := 0
+			for time.Now().Before(stop) {
+				ep := endpoints[rng.Intn(len(endpoints))]
+				variant := rng.Intn(24)
+				var status int
+				var cache string
+				var lat time.Duration
+				var err error
+				switch ep {
+				case "analyze":
+					status, cache, lat, err = c.post("/v1/analyze", analyzeBody(variant))
+				case "simulate":
+					status, cache, lat, err = c.post("/v1/simulate", simulateBody(variant))
+				case "admit":
+					taskIdx++
+					status, cache, lat, err = c.post("/v1/admit", admitBody(reqID.Add(1), node, taskIdx))
+				}
+				if err != nil {
+					status = 0
+				}
+				col.add(sample{endpoint: ep, cache: cache, status: status, latency: lat})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("mixed phase: %v, %d workers\n", duration, concurrency)
+	total, errors := 0, 0
+	for _, ep := range []string{"analyze", "simulate", "admit"} {
+		var lats []time.Duration
+		n, errs, shed := 0, 0, 0
+		states := map[string]int{}
+		for _, s := range col.samples {
+			if s.endpoint != ep {
+				continue
+			}
+			n++
+			switch {
+			case s.status == http.StatusTooManyRequests:
+				shed++
+			case s.status != http.StatusOK:
+				errs++
+			default:
+				lats = append(lats, s.latency)
+				if s.cache != "" {
+					states[s.cache]++
+				}
+			}
+		}
+		total += n
+		errors += errs
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s n=%-5d err=%-3d shed=%-3d p50=%-10v p90=%-10v p99=%v\n",
+			ep, n, errs, shed, percentile(lats, 50), percentile(lats, 90), percentile(lats, 99))
+		if len(states) > 0 {
+			fmt.Printf("  %-8s cache: hit=%d miss=%d coalesced=%d\n",
+				"", states["hit"], states["miss"], states["coalesced"])
+		}
+	}
+	secs := duration.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Printf("total: %d requests in %v (%.1f req/s), %d errors\n",
+		total, duration, float64(total)/secs, errors)
+	if errors > 0 {
+		os.Exit(1)
+	}
+}

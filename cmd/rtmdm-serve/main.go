@@ -1,0 +1,94 @@
+// Command rtmdm-serve exposes the RT-MDM engine as a long-running
+// HTTP/JSON service: schedulability analysis, bounded deterministic
+// simulation, and stateful incremental admission control.
+//
+// Usage:
+//
+//	rtmdm-serve [-addr :8080] [-workers N] [-queue N] [-timeout 15s]
+//	            [-cache 256] [-admit-window 2ms] [-max-horizon-ms 60000]
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/metrics   metrics snapshot (see docs/OBSERVABILITY.md)
+//	POST /v1/analyze   per-policy schedulability verdicts + WCRT bounds
+//	POST /v1/simulate  deterministic simulation summary (+optional trace)
+//	POST /v1/admit     incremental per-node admission control
+//
+// The process drains in-flight work on SIGINT/SIGTERM before exiting;
+// see docs/SERVER.md for the API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "requests queued beyond running workers before 429 (0 = default 64, negative = no queue)")
+		timeout      = flag.Duration("timeout", 15*time.Second, "per-request compute deadline")
+		cacheSize    = flag.Int("cache", 256, "result-cache entries (negative disables)")
+		admitWindow  = flag.Duration("admit-window", 2*time.Millisecond, "admission batching window")
+		maxHorizonMs = flag.Float64("max-horizon-ms", 60000, "largest accepted scenario horizon in ms")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	exec.Instrument(reg)
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheSize,
+		AdmitWindow:    *admitWindow,
+		MaxHorizonMs:   *maxHorizonMs,
+		Registry:       reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-serve:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Printf("rtmdm-serve: listening on %s\n", ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("rtmdm-serve: %s, draining\n", sig)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "rtmdm-serve:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-serve: http shutdown:", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmdm-serve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("rtmdm-serve: drained")
+}

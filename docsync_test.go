@@ -11,6 +11,7 @@ import (
 	"rtmdm/internal/expr"
 	"rtmdm/internal/lint"
 	"rtmdm/internal/metrics"
+	"rtmdm/internal/server"
 	"rtmdm/internal/workload"
 )
 
@@ -22,6 +23,7 @@ func allMetricNames() map[string]bool {
 	dse.Instrument(reg)
 	expr.Instrument(reg)
 	workload.Instrument(reg)
+	server.RegisterMetrics(reg)
 	defer func() {
 		exec.Instrument(nil)
 		dse.Instrument(nil)
@@ -38,7 +40,7 @@ func allMetricNames() map[string]bool {
 // metricName matches the catalogue entries in docs/OBSERVABILITY.md:
 // backticked dotted identifiers like `exec.jobs_released`, scoped to the
 // instrumented-package namespaces so file names like `out.json` don't count.
-var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload)\\.[a-z0-9_]+)`")
+var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server)\\.[a-z0-9_]+)`")
 
 // TestObservabilityDocMatchesRegistry keeps docs/OBSERVABILITY.md and the
 // registry in lockstep, both directions: every metric named in the doc must

@@ -40,6 +40,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,6 +49,26 @@ import (
 	"rtmdm/internal/sim"
 	"rtmdm/internal/task"
 )
+
+// cancelPollInterval is how many loop iterations (busy-period checkpoints,
+// fixpoint rounds) the analyses run between context polls. Polling is
+// amortized so a completed analysis is bit-identical with or without a
+// deadline on the context.
+const cancelPollInterval = 256
+
+// canceled polls ctx without allocating; it is the guard the long
+// analysis loops check every cancelPollInterval iterations.
+//
+//rtmdm:hotpath
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// canceledVerdict is the uniform outcome of an aborted analysis: never
+// schedulable, with the context's error as the reason.
+func canceledVerdict(name string, ctx context.Context) Verdict {
+	return Verdict{Test: name, Reason: "canceled: " + ctx.Err().Error()}
+}
 
 // Verdict is the outcome of one schedulability test on one task set.
 type Verdict struct {
@@ -235,7 +256,7 @@ func RTMDMRTAChunked(s *task.Set, plat cost.Platform, depth int, chunkBytes int6
 }
 
 func rtmdmRTA(s *task.Set, plat cost.Platform, depth int, chunkBytes int64, constJitter bool) Verdict {
-	return rtmdmRTADepths(s, plat, fmt.Sprintf("rta-rtmdm-d%d", depth),
+	return rtmdmRTADepths(context.Background(), s, plat, fmt.Sprintf("rta-rtmdm-d%d", depth),
 		func(*task.Task) int { return depth }, chunkBytes, constJitter)
 }
 
@@ -246,10 +267,10 @@ func rtmdmRTA(s *task.Set, plat cost.Platform, depth int, chunkBytes int64, cons
 // by its own look-ahead — so every soundness argument of the uniform
 // analysis carries over verbatim.
 func RTMDMRTADepths(s *task.Set, plat cost.Platform, depthFor func(*task.Task) int) Verdict {
-	return rtmdmRTADepths(s, plat, "rta-rtmdm-het", depthFor, 0, false)
+	return rtmdmRTADepths(context.Background(), s, plat, "rta-rtmdm-het", depthFor, 0, false)
 }
 
-func rtmdmRTADepths(s *task.Set, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64, constJitter bool) Verdict {
+func rtmdmRTADepths(ctx context.Context, s *task.Set, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64, constJitter bool) Verdict {
 	v := Verdict{Test: name, Schedulable: true, WCRT: map[string]sim.Duration{}}
 	if err := s.Validate(); err != nil {
 		return Verdict{Test: name, Reason: err.Error()}
@@ -276,6 +297,9 @@ func rtmdmRTADepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 	// its hidden loads beyond any per-hp-job charge).
 	var hps []hpTerm
 	for i := range ts {
+		if canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
 		blk := cpuBlocking(ts, i, func(k int) int { return depthFor(ts[k].t) })
 		_, blkL := lowerMax(ts, i)
 		pl := ts[i].t.Plan.Chunked(chunkBytes)
@@ -317,7 +341,11 @@ func rtmdmRTADepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 // at any time, so the CPU-overhang blocking loses its inventory cap and is
 // charged once per stall.
 func RTMDMFIFORTA(s *task.Set, plat cost.Platform, depth int, chunkBytes int64) Verdict {
-	v := fpRTA(s, plat, fmt.Sprintf("rta-rtmdm-fifo-d%d", depth), chunkBytes, false,
+	return rtmdmFIFORTA(context.Background(), s, plat, depth, chunkBytes)
+}
+
+func rtmdmFIFORTA(ctx context.Context, s *task.Set, plat cost.Platform, depth int, chunkBytes int64) Verdict {
+	v := fpRTA(ctx, s, plat, fmt.Sprintf("rta-rtmdm-fifo-d%d", depth), chunkBytes, false,
 		func(ts []terms, i int) (int64, int64) {
 			blkC, blkL := lowerMax(ts, i)
 			stalls := int64(ts[i].loads)
@@ -355,7 +383,11 @@ func RTMDMRTAForOPA(s *task.Set, plat cost.Platform, depth int) Verdict {
 // per-job demand is the serial sum with one lower-priority CPU overhang per
 // real load, plus initial blocking.
 func SerialSegFPRTA(s *task.Set, plat cost.Platform) Verdict {
-	return fpRTA(s, plat, "rta-serial-segfp", 0, false,
+	return serialSegFPRTA(context.Background(), s, plat)
+}
+
+func serialSegFPRTA(ctx context.Context, s *task.Set, plat cost.Platform) Verdict {
+	return fpRTA(ctx, s, plat, "rta-serial-segfp", 0, false,
 		func(ts []terms, i int) (int64, int64) {
 			_, blkL := lowerMax(ts, i)
 			serial := ts[i].t.Plan.PipelineNsWith(1, 0, switchCost(plat),
@@ -370,7 +402,11 @@ func SerialSegFPRTA(s *task.Set, plat cost.Platform) Verdict {
 // blocking term is an entire lower-priority job (its serial demand) plus
 // one in-flight transfer.
 func SerialNPFPRTA(s *task.Set, plat cost.Platform) Verdict {
-	return fpRTA(s, plat, "rta-serial-npfp", 0, false,
+	return serialNPFPRTA(context.Background(), s, plat)
+}
+
+func serialNPFPRTA(ctx context.Context, s *task.Set, plat cost.Platform) Verdict {
+	return fpRTA(ctx, s, plat, "rta-serial-npfp", 0, false,
 		func(ts []terms, i int) (int64, int64) {
 			var blkJob int64
 			for k := i + 1; k < len(ts); k++ {
@@ -395,7 +431,7 @@ func SerialNPFPRTA(s *task.Set, plat cost.Platform) Verdict {
 // of the relative order of higher-priority tasks — the property Audsley's
 // algorithm requires — and the analysis of one task no longer depends on
 // the others being schedulable.
-func fpRTA(s *task.Set, plat cost.Platform, name string, chunkBytes int64, constJitter bool,
+func fpRTA(ctx context.Context, s *task.Set, plat cost.Platform, name string, chunkBytes int64, constJitter bool,
 	baseFn func(ts []terms, i int) (base, self int64),
 	interfFn func(ts []terms, h int) int64) Verdict {
 
@@ -407,6 +443,9 @@ func fpRTA(s *task.Set, plat cost.Platform, name string, chunkBytes int64, const
 
 	var hps []hpTerm
 	for i := range ts {
+		if canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
 		base, _ := baseFn(ts, i)
 		r, ok := rtaIterate(base, ts[i].t.Deadline, hps)
 		v.WCRT[ts[i].t.Name] = r
@@ -478,7 +517,7 @@ func RTMDMEDF(s *task.Set, plat cost.Platform, depth int) Verdict {
 }
 
 func rtmdmEDF(s *task.Set, plat cost.Platform, depth int, chunkBytes int64) Verdict {
-	return rtmdmEDFDepths(s, plat, fmt.Sprintf("edf-rtmdm-d%d", depth),
+	return rtmdmEDFDepths(context.Background(), s, plat, fmt.Sprintf("edf-rtmdm-d%d", depth),
 		func(*task.Task) int { return depth }, chunkBytes)
 }
 
@@ -486,10 +525,10 @@ func rtmdmEDF(s *task.Set, plat cost.Platform, depth int, chunkBytes int64) Verd
 // prefetch windows; each task's carried-in inventory is bounded by its own
 // window depth.
 func RTMDMEDFDepths(s *task.Set, plat cost.Platform, depthFor func(*task.Task) int) Verdict {
-	return rtmdmEDFDepths(s, plat, "edf-rtmdm-het", depthFor, 0)
+	return rtmdmEDFDepths(context.Background(), s, plat, "edf-rtmdm-het", depthFor, 0)
 }
 
-func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64) Verdict {
+func rtmdmEDFDepths(ctx context.Context, s *task.Set, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64) Verdict {
 	if err := s.Validate(); err != nil {
 		return Verdict{Test: name, Reason: err.Error()}
 	}
@@ -535,6 +574,9 @@ func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 	// Busy-period bound: fixpoint of w = B + Σ ceil(w/T)·C.
 	w := sumC + maxBlk
 	for iter := 0; iter < maxIterations; iter++ {
+		if iter%cancelPollInterval == 0 && canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
 		next := maxBlk
 		for _, dt := range dts {
 			next += ((w + int64(dt.jit) + int64(dt.p) - 1) / int64(dt.p)) * dt.c
@@ -551,6 +593,9 @@ func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 	var points []int64
 	for _, dt := range dts {
 		for t := int64(dt.d); t <= w; t += int64(dt.p) {
+			if len(points)%cancelPollInterval == 0 && canceled(ctx) {
+				return canceledVerdict(name, ctx)
+			}
 			points = append(points, t)
 		}
 	}
@@ -567,7 +612,13 @@ func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 		}
 		return sum
 	}
-	for _, t := range points {
+	for i, t := range points {
+		// The checkpoint list scales with horizon/period ratios and can run
+		// to millions of points on dense sets; this is the loop a server
+		// deadline most needs to be able to cut short.
+		if i%cancelPollInterval == 0 && canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
 		if d := dbf(t) + blocking(t); d > t {
 			return Verdict{Test: name,
 				Reason: fmt.Sprintf("demand %v exceeds supply at t=%v", d, sim.Time(t))}
@@ -580,6 +631,16 @@ func rtmdmEDFDepths(s *task.Set, plat cost.Platform, name string, depthFor func(
 // unsupported verdict constructor for policies without a sound test (FIFO
 // DMA arbitration is a runtime ablation only).
 func ForPolicy(pol core.Policy) (func(*task.Set, cost.Platform) Verdict, error) {
+	return ForPolicyContext(context.Background(), pol)
+}
+
+// ForPolicyContext is ForPolicy with a cancellation context threaded into
+// the returned test: the RTA per-task loops and the EDF busy-period and
+// checkpoint loops poll ctx every cancelPollInterval iterations, and an
+// aborted analysis returns an unschedulable Verdict whose Reason carries
+// ctx.Err(). The admission server uses this so a request deadline bounds
+// analysis work instead of leaking it.
+func ForPolicyContext(ctx context.Context, pol core.Policy) (func(*task.Set, cost.Platform) Verdict, error) {
 	switch {
 	case pol.DMA == core.DMAFIFO && pol.EDF:
 		return nil, fmt.Errorf("analysis: no sound test for FIFO DMA under EDF (%s)", pol.Name)
@@ -588,21 +649,24 @@ func ForPolicy(pol core.Policy) (func(*task.Set, cost.Platform) Verdict, error) 
 			return nil, fmt.Errorf("analysis: no per-task-depth test under FIFO DMA (%s)", pol.Name)
 		}
 		d, c := pol.Depth, pol.ChunkBytes
-		return func(s *task.Set, p cost.Platform) Verdict { return RTMDMFIFORTA(s, p, d, c) }, nil
+		return func(s *task.Set, p cost.Platform) Verdict { return rtmdmFIFORTA(ctx, s, p, d, c) }, nil
 	case pol.DMA == core.DMAFIFO:
 		return nil, fmt.Errorf("analysis: no sound test for FIFO DMA on serial policies (%s)", pol.Name)
 	case pol.JobLevelNP:
-		return SerialNPFPRTA, nil
+		return func(s *task.Set, p cost.Platform) Verdict { return serialNPFPRTA(ctx, s, p) }, nil
 	case pol.EDF && pol.PrefetchAcrossJobs:
 		if pol.TaskDepth != nil {
 			depthFor := func(t *task.Task) int { return pol.DepthFor(t.Name) }
 			c := pol.ChunkBytes
 			return func(s *task.Set, p cost.Platform) Verdict {
-				return rtmdmEDFDepths(s, p, "edf-rtmdm-het", depthFor, c)
+				return rtmdmEDFDepths(ctx, s, p, "edf-rtmdm-het", depthFor, c)
 			}, nil
 		}
 		d, c := pol.Depth, pol.ChunkBytes
-		return func(s *task.Set, p cost.Platform) Verdict { return rtmdmEDF(s, p, d, c) }, nil
+		return func(s *task.Set, p cost.Platform) Verdict {
+			return rtmdmEDFDepths(ctx, s, p, fmt.Sprintf("edf-rtmdm-d%d", d),
+				func(*task.Task) int { return d }, c)
+		}, nil
 	case pol.EDF:
 		return nil, fmt.Errorf("analysis: no test for serial EDF (%s)", pol.Name)
 	case pol.PrefetchAcrossJobs:
@@ -610,13 +674,16 @@ func ForPolicy(pol core.Policy) (func(*task.Set, cost.Platform) Verdict, error) 
 			depthFor := func(t *task.Task) int { return pol.DepthFor(t.Name) }
 			c := pol.ChunkBytes
 			return func(s *task.Set, p cost.Platform) Verdict {
-				return rtmdmRTADepths(s, p, "rta-rtmdm-het", depthFor, c, false)
+				return rtmdmRTADepths(ctx, s, p, "rta-rtmdm-het", depthFor, c, false)
 			}, nil
 		}
 		d, c := pol.Depth, pol.ChunkBytes
-		return func(s *task.Set, p cost.Platform) Verdict { return RTMDMRTAChunked(s, p, d, c) }, nil
+		return func(s *task.Set, p cost.Platform) Verdict {
+			return rtmdmRTADepths(ctx, s, p, fmt.Sprintf("rta-rtmdm-d%d", d),
+				func(*task.Task) int { return d }, c, false)
+		}, nil
 	default:
-		return SerialSegFPRTA, nil
+		return func(s *task.Set, p cost.Platform) Verdict { return serialSegFPRTA(ctx, s, p) }, nil
 	}
 }
 

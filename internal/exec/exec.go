@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -267,6 +268,16 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 	return RunWithFaults(set, plat, pol, horizon, nil)
 }
 
+// RunContext is Run with a cancellation context: the event loop polls
+// ctx every few hundred events (via the kernel's stop hook, so the poll
+// is allocation-free and cannot perturb event order) and aborts the run
+// with ctx.Err() once the context is done. A run that completes before
+// cancellation is byte-identical to Run — the server's request deadlines
+// ride on this without costing nominal runs anything.
+func RunContext(ctx context.Context, set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration) (*Result, error) {
+	return RunWithFaultsContext(ctx, set, plat, pol, horizon, nil)
+}
+
 // RunWithFaults is Run under a fault-injection plan (nil = nominal: the
 // run is byte-identical to Run). The plan perturbs timing — compute
 // overruns, release delays, DMA slowdowns, transfer retries — while
@@ -274,6 +285,12 @@ func Run(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duratio
 // deadlines. Platform-layer invariant panics are converted to an
 // *InternalError rather than crashing the caller.
 func RunWithFaults(set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration, plan *fault.Plan) (res *Result, err error) {
+	return RunWithFaultsContext(context.Background(), set, plat, pol, horizon, plan)
+}
+
+// RunWithFaultsContext is RunWithFaults with a cancellation context; see
+// RunContext for the abort semantics.
+func RunWithFaultsContext(ctx context.Context, set *task.Set, plat cost.Platform, pol core.Policy, horizon sim.Duration, plan *fault.Plan) (res *Result, err error) {
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}
@@ -320,7 +337,15 @@ func RunWithFaults(set *task.Set, plat cost.Platform, pol core.Policy, horizon s
 		r.rts = append(r.rts, rt)
 		r.scheduleRelease(rt, 0)
 	}
+	if ctx.Done() != nil {
+		// One closure per run (setup path, not hot); the kernel polls it
+		// every few hundred events.
+		eng.SetStop(func() bool { return ctx.Err() != nil })
+	}
 	eng.Run(horizon)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("exec: run aborted: %w", cerr)
+	}
 	if r.err != nil {
 		return nil, r.err
 	}

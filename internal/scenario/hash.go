@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// hashDomain versions the canonical encoding: bump it whenever the
+// Scenario schema or the canonicalization rules change, so digests from
+// different schema generations can never collide silently.
+const hashDomain = "rtmdm-scenario-v1\n"
+
+// Canonicalize returns a semantically equivalent copy of the scenario
+// with every default made explicit and the task list sorted by name:
+//
+//   - Platform, Policy and HorizonMs take their documented defaults
+//     ("stm32h743", "rt-mdm", 1000 ms);
+//   - each task's DeadlineMs defaults to its period and Seed to 1 (zoo
+//     models only — file-backed models carry no synthetic seed);
+//   - a faults stanza normalizes Seed 0 → 1 and Overrun "" → "continue",
+//     mirroring fault.New and core.ParseOverrunPolicy.
+//
+// Task order is not semantic: priorities are either pinned per task or
+// assigned rate-monotonic with name tie-breaking, and the executor
+// dispatches by urgency, never by set order — so sorting by name maps
+// every spelling of the same deployment onto one representative. The
+// receiver is not modified.
+func (sc *Scenario) Canonicalize() *Scenario {
+	out := &Scenario{
+		Platform:  sc.Platform,
+		Policy:    sc.Policy,
+		HorizonMs: sc.HorizonMs,
+		Tasks:     append([]TaskSpec(nil), sc.Tasks...),
+	}
+	if out.Platform == "" {
+		out.Platform = "stm32h743"
+	}
+	if out.Policy == "" {
+		out.Policy = "rt-mdm"
+	}
+	if out.HorizonMs <= 0 {
+		out.HorizonMs = 1000
+	}
+	for i := range out.Tasks {
+		t := &out.Tasks[i]
+		if t.DeadlineMs == 0 {
+			t.DeadlineMs = t.PeriodMs
+		}
+		if t.Model != "" && t.Seed == 0 {
+			t.Seed = 1
+		}
+	}
+	sort.SliceStable(out.Tasks, func(i, j int) bool { return out.Tasks[i].Name < out.Tasks[j].Name })
+	if sc.Faults != nil {
+		f := *sc.Faults
+		if f.Seed == 0 {
+			f.Seed = 1
+		}
+		if f.Overrun == "" {
+			f.Overrun = "continue"
+		}
+		out.Faults = &f
+	}
+	return out
+}
+
+// CanonicalHash returns a stable hex digest of the scenario: the SHA-256
+// of its canonicalized form under a deterministic JSON encoding (struct
+// fields in declaration order, map keys sorted by encoding/json). Two
+// scenarios hash equal iff they describe the same deployment — omitted
+// defaults, task order and faults-stanza default spellings do not matter;
+// any change to a platform, policy, horizon, task parameter or fault rate
+// does. It is the cache and dedup key for the admission server, and
+// equally usable to fold duplicate points in bench/DSE sweeps.
+//
+// Non-finite timing fields cannot be encoded; they return an error (the
+// same inputs Parse and Build already reject).
+func CanonicalHash(sc *Scenario) (string, error) {
+	enc, err := json.Marshal(sc.Canonicalize())
+	if err != nil {
+		return "", fmt.Errorf("scenario: canonical hash: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(hashDomain))
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

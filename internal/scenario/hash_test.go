@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+func mustHash(t *testing.T, sc *Scenario) string {
+	t.Helper()
+	h, err := CanonicalHash(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestCanonicalHashStable pins the digest shape and that hashing is a
+// pure function of the scenario.
+func TestCanonicalHashStable(t *testing.T) {
+	sc := &Scenario{Tasks: []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50}}}
+	h1 := mustHash(t, sc)
+	h2 := mustHash(t, sc)
+	if h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s", h1, h2)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h1) {
+		t.Fatalf("hash %q is not 64 hex chars", h1)
+	}
+}
+
+// TestCanonicalHashDefaultInsensitive verifies every spelling of the
+// defaults lands on the same digest: omitted platform/policy/horizon,
+// deadline = period, seed 1, faults-stanza defaults.
+func TestCanonicalHashDefaultInsensitive(t *testing.T) {
+	implicit := &Scenario{
+		Tasks: []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50}},
+	}
+	explicit := &Scenario{
+		Platform:  "stm32h743",
+		Policy:    "rt-mdm",
+		HorizonMs: 1000,
+		Tasks:     []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50, DeadlineMs: 50, Seed: 1}},
+	}
+	if a, b := mustHash(t, implicit), mustHash(t, explicit); a != b {
+		t.Fatalf("explicit defaults changed the hash: %s vs %s", a, b)
+	}
+
+	fImplicit := &Scenario{
+		Tasks:  []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50}},
+		Faults: &FaultSpec{},
+	}
+	fExplicit := &Scenario{
+		Tasks:  []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50}},
+		Faults: &FaultSpec{Overrun: "continue"},
+	}
+	fExplicit.Faults.Seed = 1
+	if a, b := mustHash(t, fImplicit), mustHash(t, fExplicit); a != b {
+		t.Fatalf("explicit fault defaults changed the hash: %s vs %s", a, b)
+	}
+	if a, b := mustHash(t, implicit), mustHash(t, fImplicit); a == b {
+		t.Fatal("adding a faults stanza did not change the hash")
+	}
+}
+
+// TestCanonicalHashOrderInsensitive verifies task order is not semantic.
+func TestCanonicalHashOrderInsensitive(t *testing.T) {
+	ab := &Scenario{Tasks: []TaskSpec{
+		{Name: "a", Model: "ds-cnn", PeriodMs: 50},
+		{Name: "b", Model: "autoencoder", PeriodMs: 100},
+	}}
+	ba := &Scenario{Tasks: []TaskSpec{
+		{Name: "b", Model: "autoencoder", PeriodMs: 100},
+		{Name: "a", Model: "ds-cnn", PeriodMs: 50},
+	}}
+	if x, y := mustHash(t, ab), mustHash(t, ba); x != y {
+		t.Fatalf("task order changed the hash: %s vs %s", x, y)
+	}
+}
+
+// TestCanonicalHashSensitive verifies any real parameter change moves the
+// digest.
+func TestCanonicalHashSensitive(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Tasks: []TaskSpec{{Name: "kws", Model: "ds-cnn", PeriodMs: 50}}}
+	}
+	h0 := mustHash(t, base())
+	prio := 3
+	muts := map[string]func(*Scenario){
+		"platform": func(sc *Scenario) { sc.Platform = "nucleo-h7a3" },
+		"policy":   func(sc *Scenario) { sc.Policy = "serial-segfp" },
+		"horizon":  func(sc *Scenario) { sc.HorizonMs = 2000 },
+		"period":   func(sc *Scenario) { sc.Tasks[0].PeriodMs = 60 },
+		"deadline": func(sc *Scenario) { sc.Tasks[0].DeadlineMs = 40 },
+		"offset":   func(sc *Scenario) { sc.Tasks[0].OffsetMs = 5 },
+		"seed":     func(sc *Scenario) { sc.Tasks[0].Seed = 2 },
+		"model":    func(sc *Scenario) { sc.Tasks[0].Model = "autoencoder" },
+		"priority": func(sc *Scenario) { sc.Tasks[0].Priority = &prio },
+		"addtask": func(sc *Scenario) {
+			sc.Tasks = append(sc.Tasks, TaskSpec{Name: "det", Model: "autoencoder", PeriodMs: 100})
+		},
+		"faults": func(sc *Scenario) {
+			sc.Faults = &FaultSpec{}
+			sc.Faults.OverrunRate = 0.1
+		},
+	}
+	for name, mut := range muts {
+		sc := base()
+		mut(sc)
+		if mustHash(t, sc) == h0 {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+// TestCanonicalizeDoesNotMutate verifies the receiver survives untouched
+// (the server hashes the request before running it verbatim).
+func TestCanonicalizeDoesNotMutate(t *testing.T) {
+	sc := &Scenario{Tasks: []TaskSpec{
+		{Name: "b", Model: "autoencoder", PeriodMs: 100},
+		{Name: "a", Model: "ds-cnn", PeriodMs: 50},
+	}}
+	before, _ := json.Marshal(sc)
+	_ = sc.Canonicalize()
+	after, _ := json.Marshal(sc)
+	if string(before) != string(after) {
+		t.Fatalf("Canonicalize mutated the receiver:\n%s\n%s", before, after)
+	}
+}
+
+// TestCanonicalizeIdempotent verifies canonical form is a fixpoint.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	sc := &Scenario{Tasks: []TaskSpec{
+		{Name: "b", Model: "autoencoder", PeriodMs: 100},
+		{Name: "a", Model: "ds-cnn", PeriodMs: 50},
+	}}
+	c1 := sc.Canonicalize()
+	c2 := c1.Canonicalize()
+	b1, _ := json.Marshal(c1)
+	b2, _ := json.Marshal(c2)
+	if string(b1) != string(b2) {
+		t.Fatalf("Canonicalize not idempotent:\n%s\n%s", b1, b2)
+	}
+}
+
+// FuzzCanonicalHash asserts hashing is total on every parseable scenario
+// and invariant under a canonicalize → marshal → parse round trip.
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add([]byte(good))
+	f.Add([]byte(withFaults))
+	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}]}`))
+	f.Add([]byte(`{"horizon_ms":2.5,"tasks":[{"name":"a","model":"lenet5","period_ms":10,"priority":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		h1, err := CanonicalHash(sc)
+		if err != nil {
+			// Parse's validateNumbers bounds every timing field, so the
+			// canonical encoding of an accepted scenario must succeed.
+			t.Fatalf("accepted scenario failed to hash: %v", err)
+		}
+		enc, err := json.Marshal(sc.Canonicalize())
+		if err != nil {
+			t.Fatalf("canonical form failed to marshal: %v", err)
+		}
+		rt, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v\n%s", err, enc)
+		}
+		h2, err := CanonicalHash(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round trip moved the hash: %s vs %s\n%s", h1, h2, enc)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/scenario"
+)
+
+// capEval admits while the candidate set holds at most max tasks — a
+// monotone stand-in for the real schedulability test, so admitter logic
+// is exercised without model building.
+func capEval(max int) evalFunc {
+	return func(_ context.Context, sc *scenario.Scenario) (analysis.Verdict, error) {
+		ok := len(sc.Tasks) <= max
+		v := analysis.Verdict{Test: "cap", Schedulable: ok}
+		if !ok {
+			v.Reason = fmt.Sprintf("capacity %d exceeded", max)
+		}
+		return v, nil
+	}
+}
+
+func testAdmitter(window time.Duration, eval evalFunc) *admitter {
+	return newAdmitter(context.Background(), window, eval, testMetrics())
+}
+
+func admitReq(id uint64, node, task string) AdmitRequest {
+	return AdmitRequest{
+		RequestID: id,
+		Node:      node,
+		Task:      scenario.TaskSpec{Name: task, Model: "lenet5", PeriodMs: 100},
+	}
+}
+
+func TestAdmitSequential(t *testing.T) {
+	a := testAdmitter(0, capEval(2))
+	ctx := context.Background()
+
+	for i, want := range []bool{true, true, false} {
+		resp, err := a.submit(ctx, admitReq(uint64(i+1), "n0", fmt.Sprintf("t%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Admitted != want {
+			t.Fatalf("request %d admitted=%t; want %t (%s)", i+1, resp.Admitted, want, resp.Reason)
+		}
+	}
+	if got := a.committedTasks("n0"); !reflect.DeepEqual(got, []string{"t0", "t1"}) {
+		t.Fatalf("committed %v; want [t0 t1]", got)
+	}
+	a.waitIdle()
+}
+
+func TestAdmitDuplicateName(t *testing.T) {
+	a := testAdmitter(0, capEval(10))
+	ctx := context.Background()
+	if resp, _ := a.submit(ctx, admitReq(1, "n0", "same")); !resp.Admitted {
+		t.Fatal("first admit rejected")
+	}
+	resp, err := a.submit(ctx, admitReq(2, "n0", "same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Admitted {
+		t.Fatal("duplicate task name admitted")
+	}
+	a.waitIdle()
+}
+
+func TestAdmitBindingConflict(t *testing.T) {
+	a := testAdmitter(0, capEval(10))
+	ctx := context.Background()
+	first := admitReq(1, "n0", "t0")
+	first.Policy = "rt-mdm"
+	if resp, _ := a.submit(ctx, first); !resp.Admitted {
+		t.Fatal("first admit rejected")
+	}
+	second := admitReq(2, "n0", "t1")
+	second.Policy = "serial-npfp"
+	resp, err := a.submit(ctx, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Admitted || resp.Reason == "" {
+		t.Fatalf("conflicting policy admitted: %+v", resp)
+	}
+	// The committed set must be untouched by the rejection.
+	if got := a.committedTasks("n0"); !reflect.DeepEqual(got, []string{"t0"}) {
+		t.Fatalf("committed %v; want [t0]", got)
+	}
+	a.waitIdle()
+}
+
+// TestAdmitConcurrentDeterministic is the -race determinism pin: N
+// goroutines race distinct request IDs at one node, and the outcome —
+// per-request decisions and the final committed set — must equal the
+// sequential ID-order run, regardless of goroutine interleaving.
+func TestAdmitConcurrentDeterministic(t *testing.T) {
+	const n = 8
+	const capacity = 3
+
+	// Reference: sequential, ascending IDs, no batching.
+	seq := testAdmitter(0, capEval(capacity))
+	wantAdmit := make([]bool, n)
+	for i := 0; i < n; i++ {
+		resp, err := seq.submit(context.Background(), admitReq(uint64(i+1), "ref", fmt.Sprintf("t%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAdmit[i] = resp.Admitted
+	}
+	want := seq.committedTasks("ref")
+	seq.waitIdle()
+
+	for round := 0; round < 3; round++ {
+		// A generous window so every racing goroutine lands in one batch
+		// even on a loaded CI machine.
+		a := testAdmitter(100*time.Millisecond, capEval(capacity))
+		gotAdmit := make([]bool, n)
+		var race sync.WaitGroup
+		for i := 0; i < n; i++ {
+			race.Add(1)
+			go func(i int) {
+				defer race.Done()
+				resp, err := a.submit(context.Background(), admitReq(uint64(i+1), "node", fmt.Sprintf("t%d", i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gotAdmit[i] = resp.Admitted
+			}(i)
+		}
+		race.Wait()
+		a.waitIdle()
+		if got := a.committedTasks("node"); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: committed %v; want %v", round, got, want)
+		}
+		if !reflect.DeepEqual(gotAdmit, wantAdmit) {
+			t.Fatalf("round %d: decisions %v; want %v", round, gotAdmit, wantAdmit)
+		}
+	}
+}
+
+// TestAdmitRealEvaluator exercises the production evalFunc end to end:
+// small models admit, and verdicts carry WCRT bounds for committed
+// tasks.
+func TestAdmitRealEvaluator(t *testing.T) {
+	a := testAdmitter(0, evaluateScenario)
+	ctx := context.Background()
+	req := admitReq(1, "mcu0", "kws")
+	req.Task.Model = "ds-cnn"
+	req.Task.PeriodMs = 100
+	resp, err := a.submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Admitted {
+		t.Fatalf("ds-cnn @100ms rejected: %s", resp.Reason)
+	}
+	if len(resp.WCRTNs) == 0 || resp.WCRTNs["kws"] <= 0 {
+		t.Fatalf("no WCRT bound in response: %+v", resp)
+	}
+	a.waitIdle()
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache-source labels exposed in the X-Rtmdm-Cache response header.
+const (
+	cacheHit       = "hit"       // served from the LRU store
+	cacheMiss      = "miss"      // this request computed the result
+	cacheCoalesced = "coalesced" // waited on another request's computation
+)
+
+// call is one in-flight computation shared by a singleflight group: the
+// leader fills data/err and closes done; followers block on done.
+type call struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// resultCache is an LRU of marshaled response bodies keyed by canonical
+// request identity, with singleflight coalescing of concurrent misses.
+// Caching bytes (not decoded results) makes the hit path a map lookup
+// plus a write — no rebuild, no re-analysis, no re-marshal. Soundness
+// rests on the engine being deterministic: identical canonical scenarios
+// produce identical results, so replaying stored bytes is exact.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	maxEntry int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent; values are *cacheEntry
+	inflight map[string]*call
+	met      *Metrics
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(capacity, maxEntryBytes int, met *Metrics) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		maxEntry: maxEntryBytes,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*call),
+		met:      met,
+	}
+}
+
+// do returns the cached bytes for key, or computes them via fn. Exactly
+// one caller per key runs fn at a time; concurrent callers coalesce onto
+// that leader's result. The source return value is one of cacheHit,
+// cacheMiss, or cacheCoalesced. Errors are never cached — the key is
+// retried by the next leader. Oversized results are returned but not
+// stored, so a pathological response cannot monopolize the LRU.
+func (c *resultCache) do(ctx context.Context, key string, fn func() ([]byte, error)) (data []byte, source string, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		data = el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		c.met.cacheHits.Inc()
+		return data, cacheHit, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.met.cacheCoalesced.Inc()
+		select {
+		case <-cl.done:
+			return cl.data, cacheCoalesced, cl.err
+		case <-ctx.Done():
+			return nil, cacheCoalesced, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	c.met.cacheMisses.Inc()
+	cl.data, cl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil && (c.maxEntry <= 0 || len(cl.data) <= c.maxEntry) {
+		c.insert(key, cl.data)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.data, cacheMiss, cl.err
+}
+
+// insert adds an entry, evicting from the LRU tail past capacity.
+// Callers hold c.mu.
+func (c *resultCache) insert(key string, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.capacity {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.met.cacheEvictions.Inc()
+	}
+}
+
+// len reports the stored (not in-flight) entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

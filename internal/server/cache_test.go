@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testMetrics() *Metrics { return RegisterMetrics(nil) }
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newResultCache(4, 0, testMetrics())
+	calls := 0
+	fn := func() ([]byte, error) { calls++; return []byte("r1"), nil }
+
+	data, src, err := c.do(context.Background(), "k", fn)
+	if err != nil || string(data) != "r1" || src != cacheMiss {
+		t.Fatalf("first do: %q %s %v", data, src, err)
+	}
+	data, src, err = c.do(context.Background(), "k", fn)
+	if err != nil || string(data) != "r1" || src != cacheHit {
+		t.Fatalf("second do: %q %s %v", data, src, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times; want 1", calls)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 0, testMetrics())
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.do(context.Background(), k, func() ([]byte, error) { return []byte(k), nil })
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries; want 2", c.len())
+	}
+	// k0 is the LRU victim; k2 must still be resident.
+	ran := false
+	_, src, _ := c.do(context.Background(), "k2", func() ([]byte, error) { ran = true; return nil, nil })
+	if src != cacheHit || ran {
+		t.Fatalf("k2 source %s (recomputed=%t); want hit", src, ran)
+	}
+	_, src, _ = c.do(context.Background(), "k0", func() ([]byte, error) { return []byte("k0"), nil })
+	if src != cacheMiss {
+		t.Fatalf("k0 source %s; want miss after eviction", src)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(4, 0, testMetrics())
+	boom := errors.New("boom")
+	if _, _, err := c.do(context.Background(), "k", func() ([]byte, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	_, src, err := c.do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || src != cacheMiss {
+		t.Fatalf("after error: src %s err %v; want a fresh miss", src, err)
+	}
+}
+
+func TestCacheOversizedNotStored(t *testing.T) {
+	c := newResultCache(4, 2, testMetrics())
+	big := []byte("too big")
+	data, src, err := c.do(context.Background(), "k", func() ([]byte, error) { return big, nil })
+	if err != nil || string(data) != "too big" || src != cacheMiss {
+		t.Fatalf("oversized do: %q %s %v", data, src, err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("oversized entry was stored (len %d)", c.len())
+	}
+}
+
+// TestCacheCoalescing pins singleflight: concurrent requests for one key
+// run fn once; followers report coalesced and see the leader's bytes.
+func TestCacheCoalescing(t *testing.T) {
+	c := newResultCache(4, 0, testMetrics())
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.do(context.Background(), "k", func() ([]byte, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			close(entered)
+			<-gate
+			return []byte("shared"), nil
+		})
+	}()
+	<-entered
+
+	const followers = 4
+	results := make([]string, followers)
+	sources := make([]string, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, src, err := c.do(context.Background(), "k", func() ([]byte, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return []byte("rogue"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], sources[i] = string(data), src
+		}(i)
+	}
+	// Give the followers time to reach the inflight wait before the
+	// leader finishes; a straggler that arrives after completion reads
+	// the stored entry instead, which is equally correct — the strict
+	// invariant is one fn run and one shared result.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	<-leaderDone
+
+	if calls != 1 {
+		t.Fatalf("fn ran %d times; want 1", calls)
+	}
+	coalesced := 0
+	for i := 0; i < followers; i++ {
+		if results[i] != "shared" {
+			t.Fatalf("follower %d: %q %s; want shared", i, results[i], sources[i])
+		}
+		switch sources[i] {
+		case cacheCoalesced:
+			coalesced++
+		case cacheHit:
+		default:
+			t.Fatalf("follower %d reported source %s", i, sources[i])
+		}
+	}
+	if coalesced == 0 {
+		t.Fatal("no follower coalesced onto the in-flight leader")
+	}
+}
+
+// TestCacheCoalescedFollowerCancel verifies a follower's dead context
+// releases it without waiting for the leader.
+func TestCacheCoalescedFollowerCancel(t *testing.T) {
+	c := newResultCache(4, 0, testMetrics())
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		c.do(context.Background(), "k", func() ([]byte, error) {
+			close(entered)
+			<-gate
+			return []byte("late"), nil
+		})
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	close(gate)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v; want context.Canceled", err)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := newWorkPool(1, 1)
+	rel1, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second admission queues (slot busy); use a canceled ctx so the
+	// wait is bounded.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire err = %v; want context.Canceled", err)
+	}
+	// Queue slot was returned on cancel; fill it again and overflow.
+	hold := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		rel, err := p.acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(acquired)
+			return
+		}
+		close(acquired)
+		<-hold
+		rel()
+	}()
+	// Wait until the goroutine occupies the queue slot (it blocks on the
+	// worker slot, not the queue).
+	for p.depth() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.acquire(context.Background()); err != errBusy {
+		t.Fatalf("overflow acquire err = %v; want errBusy", err)
+	}
+	rel1()
+	<-acquired
+	close(hold)
+}

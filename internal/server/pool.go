@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy is returned by acquire when the pool's queue is at capacity;
+// the HTTP layer maps it to 429 with a Retry-After hint.
+var errBusy = errors.New("server: worker pool saturated")
+
+// workPool bounds concurrent heavy computations (analysis, simulation,
+// admission evaluation). Two semaphores implement two distinct limits:
+//
+//   - queue caps the total requests in the system (running + waiting);
+//     admission is a non-blocking try so a saturated server sheds load
+//     with 429 instead of stacking goroutines.
+//   - slots caps the requests actually computing; once queued, a request
+//     blocks here until a worker frees up or its context dies.
+type workPool struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newWorkPool(workers, queueDepth int) *workPool {
+	return &workPool{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+queueDepth),
+	}
+}
+
+// acquire claims a worker slot. It returns errBusy immediately when the
+// queue is full, ctx.Err() if the context dies while waiting for a slot,
+// and otherwise a release function that must be called exactly once.
+func (p *workPool) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case p.queue <- struct{}{}:
+	default:
+		return nil, errBusy
+	}
+	select {
+	case p.slots <- struct{}{}:
+		return func() { <-p.slots; <-p.queue }, nil
+	case <-ctx.Done():
+		<-p.queue
+		return nil, ctx.Err()
+	}
+}
+
+// depth reports the requests currently admitted (running + queued).
+func (p *workPool) depth() int { return len(p.queue) }

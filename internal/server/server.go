@@ -1,0 +1,291 @@
+// Package server exposes the RT-MDM engine as a long-running HTTP/JSON
+// service: offline schedulability analysis (/v1/analyze), bounded
+// deterministic simulation (/v1/simulate), and stateful incremental
+// admission control (/v1/admit), plus /healthz and /v1/metrics.
+//
+// The service is stdlib-only and built for sustained load: a bounded
+// worker pool sheds excess compute requests with 429 instead of queueing
+// unboundedly, per-request deadlines abort runaway analyses through
+// context cancellation, identical requests coalesce onto one computation
+// (singleflight) whose marshaled result is LRU-cached — sound because
+// the engine is deterministic — and shutdown drains in-flight work
+// before the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/scenario"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// Workers caps concurrent heavy computations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps requests waiting for a worker beyond the running
+	// ones; past it the server answers 429 (default 64; negative
+	// disables queueing so load sheds as soon as all workers are busy).
+	QueueDepth int
+	// RequestTimeout bounds each compute request, enforced through
+	// context cancellation in the analysis and simulation loops
+	// (default 15s).
+	RequestTimeout time.Duration
+	// CacheEntries caps the result LRU (default 256; 0 uses the
+	// default, negative disables caching).
+	CacheEntries int
+	// CacheMaxEntryBytes skips caching oversized responses, e.g.
+	// simulations with embedded traces (default 4 MiB).
+	CacheMaxEntryBytes int
+	// AdmitWindow is the admission batching window: concurrent admit
+	// requests arriving within it are decided as one batch in
+	// request_id order (default 2ms; negative disables batching).
+	AdmitWindow time.Duration
+	// MaxHorizonMs rejects simulation/admission scenarios whose horizon
+	// exceeds the bound, keeping requests bounded (default 60000).
+	MaxHorizonMs float64
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the server.* metric family; nil disables
+	// instrumentation.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheMaxEntryBytes <= 0 {
+		c.CacheMaxEntryBytes = 4 << 20
+	}
+	if c.AdmitWindow == 0 {
+		c.AdmitWindow = 2 * time.Millisecond
+	}
+	if c.MaxHorizonMs <= 0 {
+		c.MaxHorizonMs = 60000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the HTTP service. Create with New, mount as an http.Handler,
+// and call Shutdown before exit to drain in-flight work.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	met    *Metrics
+	cache  *resultCache
+	pool   *workPool
+	adm    *admitter
+	base   context.Context
+	cancel context.CancelFunc
+}
+
+// New builds a ready-to-serve Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		met:    RegisterMetrics(cfg.Registry),
+		pool:   newWorkPool(cfg.Workers, cfg.QueueDepth),
+		base:   base,
+		cancel: cancel,
+	}
+	s.cache = newResultCache(cfg.CacheEntries, cfg.CacheMaxEntryBytes, s.met)
+	s.adm = newAdmitter(base, cfg.AdmitWindow, evaluateScenario, s.met)
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("POST /v1/analyze", s.handleAnalyze)
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("POST /v1/admit", s.handleAdmit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains detached work (admission batches) and then cancels
+// the server's base context, aborting anything still computing. Call it
+// after http.Server.Shutdown has stopped new requests. Returns ctx.Err()
+// if the drain outlived ctx (work is still aborted via cancellation).
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.adm.waitIdle(); close(done) }()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle mounts h under the shared middleware: request accounting,
+// latency observation, and panic-to-500 recovery. A recovered panic is
+// wrapped in exec.InternalError so the response carries the same
+// structured shape the executor's own boundary produces.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.requests.Inc()
+		s.met.inflight.Add(1)
+		defer func() {
+			s.met.inflight.Add(-1)
+			s.met.latency.Observe(time.Since(start).Nanoseconds())
+			if v := recover(); v != nil {
+				s.met.panics.Inc()
+				ie := &exec.InternalError{Panic: v, Stack: string(debug.Stack())}
+				writeError(w, http.StatusInternalServerError, ie.Error())
+			}
+		}()
+		h(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Registry == nil {
+		writeError(w, http.StatusNotFound, "metrics registry not enabled")
+		return
+	}
+	s.met.queueDepth.Set(int64(s.pool.depth()))
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Registry.Snapshot().WriteJSON(w); err != nil {
+		// Headers are gone; nothing recoverable remains.
+		return
+	}
+}
+
+// compute runs the cached/coalesced/pooled computation pipeline shared
+// by /v1/analyze and /v1/simulate: cache lookup by key, singleflight on
+// miss, worker-pool admission for the leader, and a detached deadline so
+// one client's disconnect cannot poison a result other requests wait on.
+func (s *Server) compute(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) ([]byte, error)) {
+	data, source, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		release, err := s.pool.acquire(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		// The leader computes under the server's lifetime, not the
+		// client's: coalesced followers depend on this result.
+		ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+		defer cancel()
+		return fn(ctx)
+	})
+	w.Header().Set("X-Rtmdm-Cache", source)
+	switch {
+	case err == errBusy:
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "worker pool saturated; retry shortly")
+	case err == context.DeadlineExceeded:
+		s.met.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case err == context.Canceled:
+		// The client went away (or the server is shutting down); a
+		// status for the log is all that is left to send.
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	}
+}
+
+// parseScenario decodes, validates, canonicalizes, and hashes a raw
+// scenario payload, enforcing the horizon bound.
+func (s *Server) parseScenario(raw json.RawMessage) (*scenario.Scenario, string, error) {
+	if len(raw) == 0 {
+		return nil, "", fmt.Errorf("missing scenario")
+	}
+	sc, err := scenario.Parse(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	canon := sc.Canonicalize()
+	if canon.HorizonMs > s.cfg.MaxHorizonMs {
+		return nil, "", fmt.Errorf("horizon %v ms exceeds the server bound %v ms",
+			canon.HorizonMs, s.cfg.MaxHorizonMs)
+	}
+	hash, err := scenario.CanonicalHash(canon)
+	if err != nil {
+		return nil, "", err
+	}
+	return canon, hash, nil
+}
+
+// evaluateScenario is the admission evalFunc: build the candidate set
+// and run the policy's schedulability test under ctx.
+func evaluateScenario(ctx context.Context, sc *scenario.Scenario) (analysis.Verdict, error) {
+	set, plat, pol, err := sc.Build()
+	if err != nil {
+		return analysis.Verdict{}, err
+	}
+	test, err := analysis.ForPolicyContext(ctx, pol)
+	if err != nil {
+		return analysis.Verdict{}, err
+	}
+	return test(set, plat), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// decodeBody decodes a JSON request body strictly (unknown fields are
+// errors) with the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+// retryAfterSeconds is exported-for-tests glue ensuring the header stays
+// a parseable integer.
+func retryAfterSeconds(h http.Header) (int, error) {
+	return strconv.Atoi(h.Get("Retry-After"))
+}

@@ -159,7 +159,26 @@ type Engine struct {
 	free    []int32
 	heap    []heapEntry
 	ins     *Instruments
+	stop    func() bool
 }
+
+// stopPollInterval is how many fired events Run executes between polls of
+// the stop hook. Polling is amortized so a nominal (hook-less or
+// never-stopped) run executes the exact same event sequence as an
+// unhooked one — the hook can only cut a run short, never reorder it.
+const stopPollInterval = 256
+
+// SetStop installs a cancellation hook polled every stopPollInterval
+// events during Run; when it returns true, Run returns early with the
+// clock at the last fired event. SetStop(nil) removes the hook, as does
+// Reset — a pooled engine never carries a stale hook into its next run.
+// The hook must be cheap and allocation-free (e.g. a context.Err check).
+func (e *Engine) SetStop(fn func() bool) { e.stop = fn }
+
+// Stopped reports whether the stop hook is installed and currently firing.
+//
+//rtmdm:hotpath
+func (e *Engine) Stopped() bool { return e.stop != nil && e.stop() }
 
 // SetInstruments attaches (or, with nil, detaches) a metrics sink. The
 // sink survives Reset, so a pooled engine keeps reporting into the same
@@ -181,6 +200,7 @@ func NewEngine() *Engine {
 func (e *Engine) Reset() {
 	e.now, e.seq, e.steps = 0, 0, 0
 	e.running = false
+	e.stop = nil
 	e.heap = e.heap[:0]
 	e.free = e.free[:0]
 	for i := range e.slots {
@@ -310,6 +330,9 @@ func (e *Engine) Run(horizon Time) uint64 {
 	for len(e.heap) > 0 {
 		if e.heap[0].at > horizon {
 			break
+		}
+		if n%stopPollInterval == 0 && e.Stopped() {
+			return n
 		}
 		if !e.Step() {
 			break

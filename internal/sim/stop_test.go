@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestStopHookCutsRunShort verifies the Run loop polls the stop hook and
+// returns early without advancing the clock to the horizon.
+func TestStopHookCutsRunShort(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var arm func(at Time)
+	arm = func(at Time) {
+		e.Schedule(at, func() {
+			fired++
+			arm(at + Millisecond)
+		})
+	}
+	arm(0)
+	e.SetStop(func() bool { return fired >= 3 })
+	e.Run(Second)
+	// The poll is amortized (every stopPollInterval events), so the run may
+	// overshoot the trip point by up to one interval, but must stop far
+	// short of the ~1000 events a full run would fire.
+	if fired < 3 || fired > 3+stopPollInterval {
+		t.Fatalf("fired %d events; want stop near 3", fired)
+	}
+	if e.Now() >= Second {
+		t.Fatalf("clock advanced to horizon %v despite stop", e.Now())
+	}
+}
+
+// TestStopHookClearedByReset pins that pooled engines never carry a stale
+// stop hook into their next run.
+func TestStopHookClearedByReset(t *testing.T) {
+	e := NewEngine()
+	e.SetStop(func() bool { return true })
+	e.Reset()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run(Second)
+	if !ran {
+		t.Fatal("event did not fire after Reset cleared the stop hook")
+	}
+}
+
+// TestNoStopHookRunsToCompletion guards the nominal path: without a hook
+// the run is untouched.
+func TestNoStopHookRunsToCompletion(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 10; i++ {
+		at := Time(i) * Millisecond
+		e.Schedule(at, func() { n++ })
+	}
+	e.Run(Second)
+	if n != 10 {
+		t.Fatalf("fired %d of 10 events", n)
+	}
+	if e.Now() != Second {
+		t.Fatalf("clock at %v; want horizon", e.Now())
+	}
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Service smoke test: build rtmdm-serve and rtmdm-loadgen, start the
+# server on an ephemeral port, run the quick load profile with the 10x
+# cache-speedup requirement, then SIGTERM the server and assert it
+# drains cleanly. Exercises bind, serve, cache, admission, and shutdown
+# end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$GO" build -o "$workdir/rtmdm-serve" ./cmd/rtmdm-serve
+"$GO" build -o "$workdir/rtmdm-loadgen" ./cmd/rtmdm-loadgen
+
+addr="127.0.0.1:18099"
+"$workdir/rtmdm-serve" -addr "$addr" >"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+# If the server dies early, fail with its log rather than hanging.
+cleanup_server() { kill "$serve_pid" 2>/dev/null || true; }
+trap 'cleanup_server; rm -rf "$workdir"' EXIT
+
+"$workdir/rtmdm-loadgen" -url "http://$addr" -quick -min-speedup 10
+
+kill -TERM "$serve_pid"
+drained=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        drained=0
+        break
+    fi
+    sleep 0.1
+done
+wait "$serve_pid" 2>/dev/null || true
+
+echo "--- rtmdm-serve log ---"
+cat "$workdir/serve.log"
+
+if [ "$drained" -ne 0 ]; then
+    echo "smoke: server did not exit within 10s of SIGTERM" >&2
+    exit 1
+fi
+if ! grep -q '^rtmdm-serve: drained$' "$workdir/serve.log"; then
+    echo "smoke: server exited without draining" >&2
+    exit 1
+fi
+echo "smoke: OK"
