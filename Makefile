@@ -23,15 +23,16 @@ lint:
 
 # Race tier: vet plus the race detector on the concurrent packages.
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis
 
-# Fuzz smoke: short coverage-guided runs of the scenario parser/builder
-# and the canonical-hash round trip (the fuzz engine takes one -fuzz
-# target at a time; FuzzParse also drives Build and FaultPlan on every
-# accepted input).
+# Fuzz smoke: short coverage-guided runs of the scenario parser/builder,
+# the canonical-hash round trip, and the incremental-vs-cold analysis
+# differential (the fuzz engine takes one -fuzz target at a time;
+# FuzzParse also drives Build and FaultPlan on every accepted input).
 fuzz:
 	$(GO) test -run='^FuzzParse$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/scenario
 	$(GO) test -run='^FuzzCanonicalHash$$' -fuzz='^FuzzCanonicalHash$$' -fuzztime=10s ./internal/scenario
+	$(GO) test -run='^FuzzIncrementalRTA$$' -fuzz='^FuzzIncrementalRTA$$' -fuzztime=10s ./internal/analysis
 
 # The load-bearing benchmarks (compare with benchstat; -count=5 minimum).
 bench:

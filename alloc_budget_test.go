@@ -1,6 +1,13 @@
 package rtmdm
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/scenario"
+)
 
 // TestSimulateAllocBudget pins the steady-state allocation count of a full
 // case-study simulation so the slab-based event kernel cannot silently
@@ -34,5 +41,119 @@ func TestSimulateAllocBudget(t *testing.T) {
 	const budget = 16500
 	if allocs > budget {
 		t.Fatalf("Simulate steady state: %.0f allocs/op, budget %d", allocs, budget)
+	}
+}
+
+// admitCommitted builds the n-task committed set of the admission
+// benchmarks: descending periods, so every committed task has real
+// higher-priority interference and the warm path has bounds worth
+// reusing.
+func admitCommitted(n int) []scenario.TaskSpec {
+	specs := make([]scenario.TaskSpec, n)
+	for i := range specs {
+		specs[i] = scenario.TaskSpec{
+			Name:     fmt.Sprintf("t%02d", i),
+			Model:    "tinymlp",
+			PeriodMs: 200 - 5*float64(i),
+		}
+	}
+	return specs
+}
+
+// admitCandidate is committed + one probe task, canonicalized the way
+// the admission server hands candidates to the evaluator.
+func admitCandidate(committed []scenario.TaskSpec) *scenario.Scenario {
+	probe := scenario.TaskSpec{Name: "probe", Model: "tinymlp", PeriodMs: 40}
+	return (&scenario.Scenario{
+		Policy: "rt-mdm",
+		Tasks:  append(append([]scenario.TaskSpec(nil), committed...), probe),
+	}).Canonicalize()
+}
+
+// warmedAnalyzer returns an IncrementalAnalyzer with the committed set
+// evaluated and committed, so probe evaluations run the warm path.
+func warmedAnalyzer(tb testing.TB, committed []scenario.TaskSpec) *analysis.IncrementalAnalyzer {
+	tb.Helper()
+	base := (&scenario.Scenario{Policy: "rt-mdm",
+		Tasks: append([]scenario.TaskSpec(nil), committed...)}).Canonicalize()
+	inc := analysis.NewIncrementalAnalyzer()
+	v, _, err := inc.Evaluate(context.Background(), base)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if !v.Schedulable {
+		tb.Fatalf("committed set unschedulable: %s", v.Reason)
+	}
+	inc.Commit(base)
+	return inc
+}
+
+// BenchmarkAdmitCold32 is the admission hot path without warm state: a
+// full cold evaluation (model builds, segmentation, terms, fixpoints) of
+// a 33-task candidate, as the server ran before the incremental analyzer.
+func BenchmarkAdmitCold32(b *testing.B) {
+	cand := admitCandidate(admitCommitted(32))
+	ctx := context.Background()
+	if _, err := analysis.EvaluateScenario(ctx, cand); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.EvaluateScenario(ctx, cand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmitWarm32 is the same decision served by the incremental
+// analyzer: cached per-task terms plus warm-started fixpoints. The
+// speedup over BenchmarkAdmitCold32 is the PR's ≥5× acceptance pin; see
+// docs/PERFORMANCE.md for recorded numbers.
+func BenchmarkAdmitWarm32(b *testing.B) {
+	committed := admitCommitted(32)
+	inc := warmedAnalyzer(b, committed)
+	cand := admitCandidate(committed)
+	ctx := context.Background()
+	if _, st, err := inc.Evaluate(ctx, cand); err != nil {
+		b.Fatal(err)
+	} else if !st.Warm {
+		b.Fatal("warm path did not engage")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := inc.Evaluate(ctx, cand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAdmitWarmAllocBudget pins the steady-state allocation count of a
+// warm admission evaluation so term caching cannot silently regress back
+// to per-request model building. Budget has ~40% slack over the measured
+// steady state (≈420 allocs/op: per-evaluation clones, priority sort,
+// fixpoint bookkeeping; the cold path runs ≈2.7k allocs and ~56× the
+// wall time, dominated by model building and segmentation).
+func TestAdmitWarmAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is wall-time sensitive; skipped in -short")
+	}
+	committed := admitCommitted(32)
+	inc := warmedAnalyzer(t, committed)
+	cand := admitCandidate(committed)
+	ctx := context.Background()
+	// Warm the term cache at the candidate's set size before measuring.
+	if _, _, err := inc.Evaluate(ctx, cand); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := inc.Evaluate(ctx, cand); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 600
+	if allocs > budget {
+		t.Fatalf("warm admit steady state: %.0f allocs/op, budget %d", allocs, budget)
 	}
 }

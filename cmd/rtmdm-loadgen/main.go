@@ -7,15 +7,27 @@
 //	rtmdm-loadgen -url http://localhost:8080 [-concurrency 8]
 //	              [-duration 10s] [-mix analyze=4,simulate=4,admit=2]
 //	              [-cold 16] [-quick] [-min-speedup 0]
+//	rtmdm-loadgen -url http://localhost:8080 -churn [-churn-nodes 4]
+//	              [-churn-tasks 16] [-hot-frac 0.7] [-min-warm-speedup 0]
 //
-// The run has two phases: a calibration phase that measures the cold
-// (cache-miss) and hot (cache-hit) analyze paths on distinct scenarios,
-// then a mixed-load phase at the requested concurrency. -quick shrinks
-// both for CI smoke tests; -min-speedup N fails the process if the
-// measured cache speedup is below N×.
+// The default run has two phases: a calibration phase that measures the
+// cold (cache-miss) and hot (cache-hit) analyze paths on distinct
+// scenarios, then a mixed-load phase at the requested concurrency.
+// -quick shrinks both for CI smoke tests; -min-speedup N fails the
+// process if the measured cache speedup is below N×.
+//
+// -churn replaces both phases with an admission churn run against the
+// server's incremental analyzers: a fill phase commits a task set per
+// node (every admission evaluates at a new set size, so the per-task
+// term caches cannot help — the cold baseline), then a probe phase
+// interleaves probe additions and removals at a fixed set size, skewed
+// toward one hot node, where terms and committed fixpoint bounds are
+// reused. -min-warm-speedup N fails the process if warm probes are not
+// N× faster than the cold fill; see docs/SERVER.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -79,6 +91,30 @@ func (c *client) post(path, body string) (status int, cache string, latency time
 	return resp.StatusCode, resp.Header.Get("X-Rtmdm-Cache"), latency, nil
 }
 
+// admitResult is the slice of the admit response the generator inspects.
+type admitResult struct {
+	Admitted bool   `json:"admitted"`
+	Removed  bool   `json:"removed"`
+	Reason   string `json:"reason"`
+}
+
+// postAdmit posts an admission request and decodes the decision.
+func (c *client) postAdmit(body string) (res admitResult, status int, latency time.Duration, err error) {
+	start := time.Now()
+	resp, err := c.http.Post(c.base+"/v1/admit", "application/json", strings.NewReader(body))
+	latency = time.Since(start)
+	if err != nil {
+		return res, 0, latency, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		err = json.NewDecoder(resp.Body).Decode(&res)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return res, resp.StatusCode, latency, err
+}
+
 // scenarioJSON builds a small two-task scenario whose identity varies
 // with variant, so distinct variants are distinct cache keys.
 func scenarioJSON(variant int) string {
@@ -101,6 +137,115 @@ func admitBody(id uint64, node string, taskIdx int) string {
 	return fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {
 		"name": "t%d", "model": "lenet5", "period_ms": %d
 	}}`, id, node, taskIdx, 80+5*(taskIdx%10))
+}
+
+func churnAddBody(id uint64, node, name string, periodMs float64) string {
+	return fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {
+		"name": %q, "model": "tinymlp", "period_ms": %g
+	}}`, id, node, name, periodMs)
+}
+
+func churnRemoveBody(id uint64, node, name string) string {
+	return fmt.Sprintf(`{"request_id": %d, "node": %q, "remove": true, "task": {"name": %q}}`,
+		id, node, name)
+}
+
+// runChurn measures the admission hot path end to end and returns the
+// warm speedup (cold fill p50 / warm probe p50).
+//
+// Fill: each node commits tasksPerNode tasks in descending period order.
+// Every fill admission evaluates the candidate at a set size the node
+// has never seen, so the incremental analyzer's term caches cannot
+// apply — the latencies are the cold baseline. Probe: an interleaved
+// add/remove cycle (probe-a, probe-b added then removed) holds the
+// evaluated set sizes fixed, so terms are served from cache and the
+// committed fixpoint bounds warm-start the RTA; the probe periods sit
+// below every committed period, keeping committed bases unchanged and
+// the warm bounds applicable. Operations are skewed toward node 0 by
+// hotFrac, exercising the term LRU under a realistic hot-node pattern.
+func runChurn(c *client, nodes, tasksPerNode int, hotFrac float64, duration time.Duration) float64 {
+	var reqID atomic.Uint64
+	fail := func(op string, res admitResult, status int, err error) {
+		fmt.Fprintf(os.Stderr, "rtmdm-loadgen: churn %s: status %d reason %q err %v\n",
+			op, status, res.Reason, err)
+		os.Exit(1)
+	}
+
+	var coldLat []time.Duration
+	for j := 0; j < nodes; j++ {
+		nodeName := fmt.Sprintf("churn-%d", j)
+		for i := 0; i < tasksPerNode; i++ {
+			period := float64(40 + 5*(tasksPerNode-1-i))
+			name := fmt.Sprintf("t%02d", i)
+			res, status, lat, err := c.postAdmit(churnAddBody(reqID.Add(1), nodeName, name, period))
+			if err != nil || status != http.StatusOK || !res.Admitted {
+				fail("fill "+nodeName+"/"+name, res, status, err)
+			}
+			coldLat = append(coldLat, lat)
+		}
+	}
+
+	var warmLat, removeLat []time.Duration
+	rejected := 0
+	cycle := make([]int, nodes)
+	rng := rand.New(rand.NewSource(1))
+	stop := time.Now().Add(duration)
+	for time.Now().Before(stop) {
+		j := 0
+		if nodes > 1 && rng.Float64() >= hotFrac {
+			j = 1 + rng.Intn(nodes-1)
+		}
+		nodeName := fmt.Sprintf("churn-%d", j)
+		var (
+			res    admitResult
+			status int
+			lat    time.Duration
+			err    error
+		)
+		switch cycle[j] % 4 {
+		case 0, 1:
+			name, period := "probe-a", 35.0
+			if cycle[j]%4 == 1 {
+				name, period = "probe-b", 30.0
+			}
+			res, status, lat, err = c.postAdmit(churnAddBody(reqID.Add(1), nodeName, name, period))
+			if err != nil || status != http.StatusOK {
+				fail("probe add "+nodeName, res, status, err)
+			}
+			if !res.Admitted {
+				rejected++
+			}
+			warmLat = append(warmLat, lat)
+		case 2, 3:
+			name := "probe-a"
+			if cycle[j]%4 == 3 {
+				name = "probe-b"
+			}
+			res, status, lat, err = c.postAdmit(churnRemoveBody(reqID.Add(1), nodeName, name))
+			if err != nil || status != http.StatusOK {
+				fail("probe remove "+nodeName, res, status, err)
+			}
+			// A remove can miss if the matching add was rejected; the
+			// cycle stays consistent either way.
+			removeLat = append(removeLat, lat)
+		}
+		cycle[j]++
+	}
+
+	coldP50, warmP50 := percentile(coldLat, 50), percentile(warmLat, 50)
+	fmt.Printf("churn fill : nodes=%d tasks=%d n=%d p50=%v p90=%v\n",
+		nodes, tasksPerNode, len(coldLat), coldP50, percentile(coldLat, 90))
+	fmt.Printf("churn probe: n=%d rejected=%d p50=%v p90=%v\n",
+		len(warmLat), rejected, warmP50, percentile(warmLat, 90))
+	fmt.Printf("churn rm   : n=%d p50=%v\n", len(removeLat), percentile(removeLat, 50))
+	if warmP50 <= 0 || len(coldLat) == 0 {
+		fmt.Println("warm speedup: n/a")
+		return 0
+	}
+	speedup := float64(coldP50) / float64(warmP50)
+	fmt.Printf("warm speedup: %.1fx (cold fill p50 %v / warm probe p50 %v)\n",
+		speedup, coldP50, warmP50)
+	return speedup
 }
 
 func parseMix(spec string) (map[string]int, error) {
@@ -151,10 +296,17 @@ func main() {
 		minSpeedup  = flag.Float64("min-speedup", 0, "fail unless cache speedup (cold p50 / hit p50) reaches this factor")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request client timeout")
 		healthWait  = flag.Duration("health-wait", 10*time.Second, "how long to wait for /healthz")
+
+		churn      = flag.Bool("churn", false, "run the admission churn phase instead of calibrate+mixed")
+		churnNodes = flag.Int("churn-nodes", 4, "admission nodes in the churn phase")
+		churnTasks = flag.Int("churn-tasks", 16, "tasks committed per node by the churn fill")
+		hotFrac    = flag.Float64("hot-frac", 0.7, "fraction of churn operations aimed at the hot node")
+		minWarm    = flag.Float64("min-warm-speedup", 0, "fail unless warm admission speedup (cold fill p50 / warm probe p50) reaches this factor")
 	)
 	flag.Parse()
 	if *quick {
 		*concurrency, *duration, *cold = 4, 2*time.Second, 8
+		*churnNodes, *churnTasks = 2, 8
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -168,6 +320,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("rtmdm-loadgen: target %s\n", c.base)
+
+	if *churn {
+		warmSpeedup := runChurn(c, *churnNodes, *churnTasks, *hotFrac, *duration)
+		if *minWarm > 0 && warmSpeedup < *minWarm {
+			fmt.Fprintf(os.Stderr, "rtmdm-loadgen: warm admission speedup %.1fx below required %.1fx\n",
+				warmSpeedup, *minWarm)
+			os.Exit(1)
+		}
+		return
+	}
 
 	speedup := calibrate(c, *cold)
 	runMixed(c, mix, *concurrency, *duration)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"rtmdm/internal/analysis"
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
@@ -23,12 +24,14 @@ func allMetricNames() map[string]bool {
 	dse.Instrument(reg)
 	expr.Instrument(reg)
 	workload.Instrument(reg)
+	analysis.Instrument(reg)
 	server.RegisterMetrics(reg)
 	defer func() {
 		exec.Instrument(nil)
 		dse.Instrument(nil)
 		expr.Instrument(nil)
 		workload.Instrument(nil)
+		analysis.Instrument(nil)
 	}()
 	names := map[string]bool{}
 	for _, s := range reg.Snapshot().Samples {
@@ -40,7 +43,7 @@ func allMetricNames() map[string]bool {
 // metricName matches the catalogue entries in docs/OBSERVABILITY.md:
 // backticked dotted identifiers like `exec.jobs_released`, scoped to the
 // instrumented-package namespaces so file names like `out.json` don't count.
-var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server)\\.[a-z0-9_]+)`")
+var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis)\\.[a-z0-9_]+)`")
 
 // TestObservabilityDocMatchesRegistry keeps docs/OBSERVABILITY.md and the
 // registry in lockstep, both directions: every metric named in the doc must

@@ -186,7 +186,17 @@ func uniformDepth(d int) func(int) int { return func(int) int { return d } }
 // iteration, returning (R, true) on convergence within the deadline and
 // (lastR, false) otherwise.
 func rtaIterate(base int64, deadline sim.Duration, hp []hpTerm) (sim.Duration, bool) {
-	r := base
+	return rtaIterateFrom(base, base, deadline, hp)
+}
+
+// rtaIterateFrom is rtaIterate with an explicit starting point. Cold
+// callers pass start == base; the incremental analyzer passes a previous
+// converged bound (see incremental.go for the monotonicity argument that
+// makes any start in [base, lfp] land on the same least fixpoint).
+//
+//rtmdm:hotpath
+func rtaIterateFrom(start, base int64, deadline sim.Duration, hp []hpTerm) (sim.Duration, bool) {
+	r := start
 	for iter := 0; iter < maxIterations; iter++ {
 		var interf int64
 		for _, h := range hp {
@@ -206,6 +216,100 @@ func rtaIterate(base int64, deadline sim.Duration, hp []hpTerm) (sim.Duration, b
 		}
 	}
 	return sim.Duration(r), false
+}
+
+// coldIterations bounds the iteration count rtaIterate(base, …) needs to
+// reach the converged value r: the fixpoint sequence from base is
+// strictly increasing, each non-final step bumps at least one
+// higher-priority arrival count, and detecting convergence costs two
+// more rounds — so 2 + Σ_h (n_h(r) − n_h(base)) iterations suffice. The
+// warm path uses it to prove the cold run would NOT have hit the
+// maxIterations cap before trusting a warm-started convergence.
+//
+//rtmdm:hotpath
+func coldIterations(r, base int64, hp []hpTerm) int {
+	iters := 2
+	for _, h := range hp {
+		nr := (r + h.jitter + int64(h.period) - 1) / int64(h.period)
+		nb := (base + h.jitter + int64(h.period) - 1) / int64(h.period)
+		if nr < 0 {
+			nr = 0
+		}
+		if nb < 0 {
+			nb = 0
+		}
+		iters += int(nr - nb)
+		if iters >= maxIterations {
+			return iters
+		}
+	}
+	return iters
+}
+
+// admitOpts carries the admission-path extensions threaded through the
+// FP analyses. nil (every cold caller) is the plain analysis; the
+// admission paths enable the necessary-condition screen, and the
+// incremental analyzer additionally supplies cached demands and warm
+// fixpoint starts. All three extensions preserve bit-identical verdicts:
+// the screen only fires where the fixpoint provably fails (and is
+// applied by cold and warm admission paths alike), cached demands are
+// values of the same pure computation, and warm starts are guarded by
+// cold replays (see warmIterate).
+type admitOpts struct {
+	// screen enables the pre-fixpoint demand screen: any task whose base
+	// (blocking + own demand) already exceeds its deadline yields a
+	// necessary-demand verdict before any fixpoint runs.
+	screen bool
+	// demandFor overrides the per-task own-demand computation with cached
+	// values; nil computes from the plan. The index is the task's
+	// priority-order position; depth is the pipeline depth the analysis
+	// would have used.
+	demandFor func(i, depth int) int64
+	// warm supplies previous converged bounds as fixpoint starts.
+	warm *warmState
+}
+
+// warmState is the fixpoint warm-start hook of an IncrementalAnalyzer
+// evaluation: start returns the previously converged WCRT for a task
+// name, and warmStarts counts the fixpoints that actually used one.
+type warmState struct {
+	start      func(name string) (int64, bool)
+	warmStarts int
+}
+
+// warmIterate is the guarded warm-start wrapper around the RTA fixpoint:
+// it starts from the previous converged bound when one is available and
+// sound to use, and replays the cold iteration whenever the warm run
+// cannot be proven bit-identical — on non-convergence (the cold run's
+// deadline-crossing VALUE differs from the warm run's) and when the cold
+// iteration count could have hit the maxIterations cap (where cold
+// reports failure at a value warm convergence would mask).
+//
+//rtmdm:hotpath
+func warmIterate(base int64, deadline sim.Duration, hp []hpTerm, name string, opt *admitOpts) (sim.Duration, bool) {
+	if opt == nil || opt.warm == nil {
+		return rtaIterate(base, deadline, hp)
+	}
+	start, ok := opt.warm.start(name)
+	if !ok || start <= base || sim.Duration(start) > deadline {
+		return rtaIterate(base, deadline, hp)
+	}
+	r, converged := rtaIterateFrom(start, base, deadline, hp)
+	if !converged || coldIterations(int64(r), base, hp) >= maxIterations {
+		return rtaIterate(base, deadline, hp)
+	}
+	opt.warm.warmStarts++
+	return r, true
+}
+
+// demandScreenVerdict is the uniform outcome of the pre-fixpoint demand
+// screen: task t's blocking plus own demand already exceeds its deadline,
+// a necessary condition for the FP-RTA verdict to fail (the fixpoint
+// starts at base and never decreases), so rejecting here cannot change an
+// admission decision — only the Test/Reason strings of the rejection.
+func demandScreenVerdict(t *task.Task, base int64) Verdict {
+	return Verdict{Test: "necessary-demand",
+		Reason: fmt.Sprintf("task %s: base demand %v > D %v", t.Name, sim.Duration(base), t.Deadline)}
 }
 
 type hpTerm struct {
@@ -271,11 +375,52 @@ func RTMDMRTADepths(s *task.Set, plat cost.Platform, depthFor func(*task.Task) i
 }
 
 func rtmdmRTADepths(ctx context.Context, s *task.Set, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64, constJitter bool) Verdict {
-	v := Verdict{Test: name, Schedulable: true, WCRT: map[string]sim.Duration{}}
 	if err := s.Validate(); err != nil {
 		return Verdict{Test: name, Reason: err.Error()}
 	}
 	ts := mkTerms(task.NewSet(s.ByPriority()...), plat, chunkBytes)
+	return rtmdmRTATerms(ctx, ts, plat, name, depthFor, chunkBytes, constJitter, nil)
+}
+
+// rtmdmRTATerms is the RT-MDM RTA over precomputed priority-ordered
+// terms. Both the cold analysis (rtmdmRTADepths, fresh terms) and the
+// incremental admission path (cache-assembled terms, admitOpts) run this
+// same loop, so the two can only differ through opt — and every opt
+// extension is bit-identity preserving (see admitOpts).
+func rtmdmRTATerms(ctx context.Context, ts []terms, plat cost.Platform, name string, depthFor func(*task.Task) int, chunkBytes int64, constJitter bool, opt *admitOpts) Verdict {
+	v := Verdict{Test: name, Schedulable: true, WCRT: map[string]sim.Duration{}}
+
+	// Per-task bases are pure in the terms (no fixpoint feedback), so they
+	// are computed up front — which is what lets the admission screen
+	// reject before any fixpoint runs.
+	bases := make([]int64, len(ts))
+	for i := range ts {
+		if canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
+		blk := cpuBlocking(ts, i, func(k int) int { return depthFor(ts[k].t) })
+		_, blkL := lowerMax(ts, i)
+		d := depthFor(ts[i].t)
+		if i > 0 {
+			d = 1 // serial chain for non-top tasks
+		}
+		var demand int64
+		if opt != nil && opt.demandFor != nil {
+			demand = opt.demandFor(i, d)
+		} else {
+			pl := ts[i].t.Plan.Chunked(chunkBytes)
+			demand = pl.PipelineNsWith(d, 0, switchCost(plat),
+				plat.Bus.DMADen, plat.Bus.DMANum, plat.Bus.CPUDen, plat.Bus.CPUNum)
+		}
+		bases[i] = blk + blkL + demand
+	}
+	if opt != nil && opt.screen {
+		for i := range ts {
+			if bases[i] > int64(ts[i].t.Deadline) {
+				return demandScreenVerdict(ts[i].t, bases[i])
+			}
+		}
+	}
 
 	// Per-job demand is position-dependent:
 	//  - the HIGHEST-priority task uses its pipelined makespan: the gate
@@ -300,17 +445,7 @@ func rtmdmRTADepths(ctx context.Context, s *task.Set, plat cost.Platform, name s
 		if canceled(ctx) {
 			return canceledVerdict(name, ctx)
 		}
-		blk := cpuBlocking(ts, i, func(k int) int { return depthFor(ts[k].t) })
-		_, blkL := lowerMax(ts, i)
-		pl := ts[i].t.Plan.Chunked(chunkBytes)
-		d := depthFor(ts[i].t)
-		if i > 0 {
-			d = 1 // serial chain for non-top tasks
-		}
-		demand := pl.PipelineNsWith(d, 0, switchCost(plat),
-			plat.Bus.DMADen, plat.Bus.DMANum, plat.Bus.CPUDen, plat.Bus.CPUNum)
-		base := blk + blkL + demand
-		r, ok := rtaIterate(base, ts[i].t.Deadline, hps)
+		r, ok := warmIterate(bases[i], ts[i].t.Deadline, hps, ts[i].t.Name, opt)
 		v.WCRT[ts[i].t.Name] = r
 		jitter := int64(r) + int64(ts[i].t.Jitter)
 		if !ok {
@@ -387,15 +522,46 @@ func SerialSegFPRTA(s *task.Set, plat cost.Platform) Verdict {
 }
 
 func serialSegFPRTA(ctx context.Context, s *task.Set, plat cost.Platform) Verdict {
-	return fpRTA(ctx, s, plat, "rta-serial-segfp", 0, false,
-		func(ts []terms, i int) (int64, int64) {
-			_, blkL := lowerMax(ts, i)
-			serial := ts[i].t.Plan.PipelineNsWith(1, 0, switchCost(plat),
+	return fpRTA(ctx, s, plat, "rta-serial-segfp", 0, false, segfpBaseFn(plat, nil), sumCL)
+}
+
+// sumCL is the per-job interference demand every FP analysis here
+// charges: the higher-priority task's full CPU plus DMA demand.
+func sumCL(ts []terms, h int) int64 { return ts[h].sumC + ts[h].sumL }
+
+// segfpBaseFn builds the serial-segfp base function. demandFor, when
+// non-nil, replaces the serial-demand computation with cached values of
+// the same pure expression (the incremental analyzer's term cache).
+func segfpBaseFn(plat cost.Platform, demandFor func(i int) int64) func(ts []terms, i int) (int64, int64) {
+	return func(ts []terms, i int) (int64, int64) {
+		_, blkL := lowerMax(ts, i)
+		var serial int64
+		if demandFor != nil {
+			serial = demandFor(i)
+		} else {
+			serial = ts[i].t.Plan.PipelineNsWith(1, 0, switchCost(plat),
 				plat.Bus.DMADen, plat.Bus.DMANum, plat.Bus.CPUDen, plat.Bus.CPUNum)
-			base := cpuBlocking(ts, i, uniformDepth(1)) + blkL + serial
-			return base, serial
-		},
-		func(ts []terms, h int) int64 { return ts[h].sumC + ts[h].sumL })
+		}
+		base := cpuBlocking(ts, i, uniformDepth(1)) + blkL + serial
+		return base, serial
+	}
+}
+
+// npfpBaseFn builds the serial-npfp base function; all of its inputs are
+// already in the terms, so it needs no demand override.
+func npfpBaseFn() func(ts []terms, i int) (int64, int64) {
+	return func(ts []terms, i int) (int64, int64) {
+		var blkJob int64
+		for k := i + 1; k < len(ts); k++ {
+			if v := ts[k].sumC + ts[k].sumL; v > blkJob {
+				blkJob = v
+			}
+		}
+		_, blkL := lowerMax(ts, i)
+		serial := ts[i].sumC + ts[i].sumL
+		base := blkJob + blkL + serial
+		return base, serial
+	}
 }
 
 // SerialNPFPRTA analyzes the whole-job non-preemptive baseline (B1): the
@@ -406,20 +572,7 @@ func SerialNPFPRTA(s *task.Set, plat cost.Platform) Verdict {
 }
 
 func serialNPFPRTA(ctx context.Context, s *task.Set, plat cost.Platform) Verdict {
-	return fpRTA(ctx, s, plat, "rta-serial-npfp", 0, false,
-		func(ts []terms, i int) (int64, int64) {
-			var blkJob int64
-			for k := i + 1; k < len(ts); k++ {
-				if v := ts[k].sumC + ts[k].sumL; v > blkJob {
-					blkJob = v
-				}
-			}
-			_, blkL := lowerMax(ts, i)
-			serial := ts[i].sumC + ts[i].sumL
-			base := blkJob + blkL + serial
-			return base, serial
-		},
-		func(ts []terms, h int) int64 { return ts[h].sumC + ts[h].sumL })
+	return fpRTA(ctx, s, plat, "rta-serial-npfp", 0, false, npfpBaseFn(), sumCL)
 }
 
 // fpRTA runs a priority-ordered RTA. baseFn returns (base including
@@ -435,19 +588,42 @@ func fpRTA(ctx context.Context, s *task.Set, plat cost.Platform, name string, ch
 	baseFn func(ts []terms, i int) (base, self int64),
 	interfFn func(ts []terms, h int) int64) Verdict {
 
-	v := Verdict{Test: name, Schedulable: true, WCRT: map[string]sim.Duration{}}
 	if err := s.Validate(); err != nil {
 		return Verdict{Test: name, Reason: err.Error()}
 	}
 	ts := mkTerms(task.NewSet(s.ByPriority()...), plat, chunkBytes)
+	return fpRTATerms(ctx, ts, name, constJitter, baseFn, interfFn, nil)
+}
+
+// fpRTATerms is the generic priority-ordered RTA over precomputed terms,
+// shared — like rtmdmRTATerms — between the cold analyses and the
+// incremental admission path (which differs only through opt).
+func fpRTATerms(ctx context.Context, ts []terms, name string, constJitter bool,
+	baseFn func(ts []terms, i int) (base, self int64),
+	interfFn func(ts []terms, h int) int64, opt *admitOpts) Verdict {
+
+	v := Verdict{Test: name, Schedulable: true, WCRT: map[string]sim.Duration{}}
+	bases := make([]int64, len(ts))
+	for i := range ts {
+		if canceled(ctx) {
+			return canceledVerdict(name, ctx)
+		}
+		bases[i], _ = baseFn(ts, i)
+	}
+	if opt != nil && opt.screen {
+		for i := range ts {
+			if bases[i] > int64(ts[i].t.Deadline) {
+				return demandScreenVerdict(ts[i].t, bases[i])
+			}
+		}
+	}
 
 	var hps []hpTerm
 	for i := range ts {
 		if canceled(ctx) {
 			return canceledVerdict(name, ctx)
 		}
-		base, _ := baseFn(ts, i)
-		r, ok := rtaIterate(base, ts[i].t.Deadline, hps)
+		r, ok := warmIterate(bases[i], ts[i].t.Deadline, hps, ts[i].t.Name, opt)
 		v.WCRT[ts[i].t.Name] = r
 		// Interference jitter: the task's own release jitter plus its
 		// response bound (burst compression of self-suspending demand).

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rtmdm/internal/scenario"
+)
+
+// verdictsEqual is the bit-identity relation FuzzIncrementalRTA pins:
+// every Verdict field, including WCRT map contents and Reason strings.
+func verdictsEqual(a, b Verdict) bool {
+	return a.Test == b.Test && a.Schedulable == b.Schedulable &&
+		a.Reason == b.Reason && reflect.DeepEqual(a.WCRT, b.WCRT)
+}
+
+// diffDriver replays an admission stream through an IncrementalAnalyzer
+// and the cold EvaluateScenario, asserting bit-identical verdicts and
+// errors at every step, while mirroring the server's commit protocol
+// (commit on admitted additions, commit the shrunk set on removals).
+type diffDriver struct {
+	t         *testing.T
+	inc       *IncrementalAnalyzer
+	policy    string
+	committed []scenario.TaskSpec
+	seq       int
+	warmSeen  bool
+}
+
+func newDiffDriver(t *testing.T, policy string) *diffDriver {
+	return &diffDriver{t: t, inc: NewIncrementalAnalyzer(), policy: policy}
+}
+
+func (d *diffDriver) scenarioFor(tasks []scenario.TaskSpec) *scenario.Scenario {
+	return (&scenario.Scenario{Policy: d.policy,
+		Tasks: append([]scenario.TaskSpec(nil), tasks...)}).Canonicalize()
+}
+
+// check evaluates cand through both paths and fails the test on any
+// divergence. Returns the verdict and whether evaluation succeeded.
+func (d *diffDriver) check(cand *scenario.Scenario) (Verdict, bool) {
+	d.t.Helper()
+	gotV, st, gotErr := d.inc.Evaluate(context.Background(), cand)
+	wantV, wantErr := EvaluateScenario(context.Background(), cand)
+	if (gotErr != nil) != (wantErr != nil) ||
+		(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		d.t.Fatalf("error diverged:\n inc: %v\ncold: %v", gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return Verdict{}, false
+	}
+	if !verdictsEqual(gotV, wantV) {
+		d.t.Fatalf("verdict diverged:\n inc: %+v\ncold: %+v", gotV, wantV)
+	}
+	if st.Warm {
+		d.warmSeen = true
+	}
+	return gotV, true
+}
+
+// add evaluates committed+spec and commits on admission, like decide().
+func (d *diffDriver) add(spec scenario.TaskSpec) bool {
+	d.t.Helper()
+	cand := d.scenarioFor(append(append([]scenario.TaskSpec(nil), d.committed...), spec))
+	v, ok := d.check(cand)
+	if !ok || !v.Schedulable {
+		return false
+	}
+	d.committed = append(d.committed, spec)
+	d.inc.Commit(cand)
+	return true
+}
+
+// probe evaluates committed+spec without ever committing.
+func (d *diffDriver) probe(spec scenario.TaskSpec) {
+	d.t.Helper()
+	d.check(d.scenarioFor(append(append([]scenario.TaskSpec(nil), d.committed...), spec)))
+}
+
+// remove drops committed[i] and commits the shrunk set, like the server's
+// removal op.
+func (d *diffDriver) remove(i int) {
+	d.committed = append(d.committed[:i:i], d.committed[i+1:]...)
+	d.inc.Commit(d.scenarioFor(d.committed))
+}
+
+var fuzzPolicies = []string{
+	"rt-mdm", "serial-segfp", "serial-npfp", "rt-mdm-edf",
+	"rt-mdm-d4", "rt-mdm-fifodma", "serial-segedf",
+}
+
+var fuzzModels = []string{"tinymlp", "lenet5", "autoencoder"}
+
+// fuzzPeriods spans infeasible (1 ms under lenet5's demand exercises the
+// screens) through comfortable rates.
+var fuzzPeriods = []float64{1, 5, 40, 90, 200}
+
+// replayOps interprets data as one admission stream: data[0] selects the
+// policy, each following byte is one op — bits 0-1 kind (add/add/remove/
+// probe), bits 2-3 model, bits 4-6 period, bit 7 pins a priority
+// (mixing pinned and unpinned specs exercises Build's error parity).
+func replayOps(t *testing.T, data []byte) *diffDriver {
+	t.Helper()
+	d := newDiffDriver(t, fuzzPolicies[int(data[0])%len(fuzzPolicies)])
+	ops := data[1:]
+	if len(ops) > 12 {
+		ops = ops[:12]
+	}
+	for _, b := range ops {
+		spec := scenario.TaskSpec{
+			Name:     fmt.Sprintf("t%02d", d.seq),
+			Model:    fuzzModels[int(b>>2)%len(fuzzModels)],
+			PeriodMs: fuzzPeriods[int(b>>4)%len(fuzzPeriods)],
+		}
+		if b&0x80 != 0 {
+			p := d.seq
+			spec.Priority = &p
+		}
+		d.seq++
+		switch b % 4 {
+		case 2:
+			if len(d.committed) > 0 {
+				d.remove(int(b>>2) % len(d.committed))
+			}
+		case 3:
+			d.probe(spec)
+		default:
+			d.add(spec)
+		}
+	}
+	// Final full-set check: the evolved warm state must still reproduce
+	// the cold verdict on the committed set itself.
+	if len(d.committed) > 0 {
+		d.check(d.scenarioFor(d.committed))
+	}
+	return d
+}
+
+// FuzzIncrementalRTA replays random add/remove/probe sequences through
+// the incremental analyzer and the cold reference, asserting bit-identical
+// Verdicts (Schedulable, Test, WCRT maps, Reason strings) and errors.
+func FuzzIncrementalRTA(f *testing.F) {
+	// Descending periods: the warm path fires from the third addition.
+	f.Add([]byte{0, 0x40, 0x30, 0x20, 0x10, 0x00})
+	// Every policy family over the same stream.
+	for p := 1; p < len(fuzzPolicies); p++ {
+		f.Add([]byte{byte(p), 0x40, 0x30, 0x20})
+	}
+	// Removal in the middle, then more additions.
+	f.Add([]byte{0, 0x40, 0x30, 0x02, 0x20, 0x10})
+	// Rejected/infeasible probes riding on a committed set.
+	f.Add([]byte{0, 0x40, 0x30, 0x03, 0x43, 0x20})
+	// Pinned priorities (first pinned, later unpinned: error parity).
+	f.Add([]byte{0, 0xc0, 0x40})
+	f.Add([]byte{0, 0xc0, 0xd0, 0xe0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		replayOps(t, data)
+	})
+}
+
+// TestIncrementalWarmStarts pins that the warm path actually engages:
+// admitting in descending period order leaves every committed bound
+// valid, so the third admission must warm-start at least one fixpoint.
+func TestIncrementalWarmStarts(t *testing.T) {
+	d := newDiffDriver(t, "rt-mdm")
+	for i, p := range []float64{200, 100, 50, 40} {
+		if !d.add(scenario.TaskSpec{Name: fmt.Sprintf("t%d", i), Model: "tinymlp", PeriodMs: p}) {
+			t.Fatalf("add t%d rejected", i)
+		}
+	}
+	if !d.warmSeen {
+		t.Fatal("no evaluation warm-started")
+	}
+	// A probe on the committed set reports warm stats directly. The first
+	// probe at this set size builds fresh terms (segment budgets depend on
+	// the task count), so probe twice: the second must reuse every
+	// committed entry from the cache.
+	probe := func(name string) EvalStats {
+		cand := d.scenarioFor(append(append([]scenario.TaskSpec(nil), d.committed...),
+			scenario.TaskSpec{Name: name, Model: "tinymlp", PeriodMs: 30}))
+		_, st, err := d.inc.Evaluate(context.Background(), cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := probe("p0"); !st.Warm || st.WarmStarts == 0 {
+		t.Fatalf("probe did not warm-start: %+v", st)
+	}
+	if st := probe("p1"); st.TasksBuilt != 1 || st.TasksReused != len(d.committed) {
+		t.Fatalf("term cache missed on second probe: %+v", st)
+	}
+}
+
+// TestIncrementalScreenStats pins the early-exit screen: an infeasible
+// probe must be rejected by a necessary condition before any fixpoint.
+func TestIncrementalScreenStats(t *testing.T) {
+	d := newDiffDriver(t, "rt-mdm")
+	if !d.add(scenario.TaskSpec{Name: "base", Model: "tinymlp", PeriodMs: 100}) {
+		t.Fatal("base add rejected")
+	}
+	cand := d.scenarioFor(append(append([]scenario.TaskSpec(nil), d.committed...),
+		scenario.TaskSpec{Name: "hog", Model: "lenet5", PeriodMs: 0.001}))
+	v, st, err := d.inc.Evaluate(context.Background(), cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Schedulable || !st.Screened {
+		t.Fatalf("infeasible probe not screened: v=%+v st=%+v", v, st)
+	}
+	if v.Test != "necessary-utilization" && v.Test != "necessary-demand" {
+		t.Fatalf("unexpected screen test %q", v.Test)
+	}
+}
+
+// TestIncrementalBindingReset: rebinding the analyzer to a different
+// policy drops all warm state and still matches cold.
+func TestIncrementalBindingReset(t *testing.T) {
+	inc := NewIncrementalAnalyzer()
+	mk := func(policy string) *scenario.Scenario {
+		return (&scenario.Scenario{Policy: policy, Tasks: []scenario.TaskSpec{
+			{Name: "a", Model: "tinymlp", PeriodMs: 100},
+			{Name: "b", Model: "tinymlp", PeriodMs: 50},
+		}}).Canonicalize()
+	}
+	for _, policy := range []string{"rt-mdm", "serial-segfp", "rt-mdm"} {
+		cand := mk(policy)
+		got, st, err := inc.Evaluate(context.Background(), cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := EvaluateScenario(context.Background(), cand)
+		if !verdictsEqual(got, want) {
+			t.Fatalf("%s diverged:\n inc: %+v\ncold: %+v", policy, got, want)
+		}
+		// Every evaluation after a rebind starts from an empty cache.
+		if st.TasksReused != 0 || st.TasksBuilt != 2 {
+			t.Fatalf("%s: expected cold cache after rebind, got %+v", policy, st)
+		}
+	}
+}
+
+// TestIncrementalErrorParity: every Build-path error the cold reference
+// produces must come out of the analyzer verbatim.
+func TestIncrementalErrorParity(t *testing.T) {
+	cases := []*scenario.Scenario{
+		{Tasks: []scenario.TaskSpec{{Name: "a", Model: "nope", PeriodMs: 10}}},
+		{Tasks: []scenario.TaskSpec{{Name: "a", Model: "tinymlp", PeriodMs: -1}}},
+		{Tasks: []scenario.TaskSpec{{Name: "a", PeriodMs: 10}}},
+		{Tasks: []scenario.TaskSpec{{Name: "a", Model: "tinymlp", ModelFile: "x", PeriodMs: 10}}},
+		{Tasks: []scenario.TaskSpec{}},
+		{Policy: "bogus", Tasks: []scenario.TaskSpec{{Name: "a", Model: "tinymlp", PeriodMs: 10}}},
+		{Platform: "bogus", Tasks: []scenario.TaskSpec{{Name: "a", Model: "tinymlp", PeriodMs: 10}}},
+		{HorizonMs: 1e300, Tasks: []scenario.TaskSpec{{Name: "a", Model: "tinymlp", PeriodMs: 10}}},
+		{Tasks: []scenario.TaskSpec{
+			{Name: "a", Model: "tinymlp", PeriodMs: 10},
+			{Name: "a", Model: "tinymlp", PeriodMs: 20}}},
+	}
+	// Pinned-mix error.
+	p := 0
+	cases = append(cases, &scenario.Scenario{Tasks: []scenario.TaskSpec{
+		{Name: "a", Model: "tinymlp", PeriodMs: 10, Priority: &p},
+		{Name: "b", Model: "tinymlp", PeriodMs: 20}}})
+
+	for i, sc := range cases {
+		inc := NewIncrementalAnalyzer()
+		_, _, gotErr := inc.Evaluate(context.Background(), sc.Canonicalize())
+		_, wantErr := EvaluateScenario(context.Background(), sc.Canonicalize())
+		switch {
+		case (gotErr == nil) != (wantErr == nil):
+			t.Errorf("case %d: inc err %v, cold err %v", i, gotErr, wantErr)
+		case gotErr == nil:
+			t.Errorf("case %d: expected an error", i)
+		case gotErr.Error() != wantErr.Error():
+			t.Errorf("case %d: error text diverged:\n inc: %v\ncold: %v", i, gotErr, wantErr)
+		}
+	}
+}
+
+// TestScreenDecisionEquivalence: the admission screens may change the
+// Test/Reason of a rejection but never flip a decision — any scenario the
+// screen rejects must also fail the unscreened policy test.
+func TestScreenDecisionEquivalence(t *testing.T) {
+	for _, policy := range []string{"rt-mdm", "serial-segfp", "serial-npfp"} {
+		for _, periodMs := range []float64{0.01, 0.15, 1, 5, 60} {
+			sc := (&scenario.Scenario{Policy: policy, Tasks: []scenario.TaskSpec{
+				{Name: "a", Model: "lenet5", PeriodMs: periodMs * 3},
+				{Name: "b", Model: "tinymlp", PeriodMs: periodMs},
+			}}).Canonicalize()
+			screened, err := EvaluateScenario(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, plat, pol, err := sc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			test, err := ForPolicy(pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := test(set, plat)
+			if screened.Schedulable != plain.Schedulable {
+				t.Errorf("%s @%vms: screened=%t plain=%t (%s / %s)",
+					policy, periodMs, screened.Schedulable, plain.Schedulable,
+					screened.Test, plain.Test)
+			}
+		}
+	}
+}
+
+// TestIncrementalConcurrent hammers one analyzer from many goroutines
+// (the race-tier pin for the analyzer's mutable state): all evaluations
+// of the same candidate must return the cold verdict.
+func TestIncrementalConcurrent(t *testing.T) {
+	inc := NewIncrementalAnalyzer()
+	base := (&scenario.Scenario{Policy: "rt-mdm", Tasks: []scenario.TaskSpec{
+		{Name: "a", Model: "tinymlp", PeriodMs: 200},
+		{Name: "b", Model: "tinymlp", PeriodMs: 100},
+	}}).Canonicalize()
+	if _, _, err := inc.Evaluate(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	inc.Commit(base)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cand := (&scenario.Scenario{Policy: "rt-mdm", Tasks: append(
+				append([]scenario.TaskSpec(nil), base.Tasks...),
+				scenario.TaskSpec{Name: fmt.Sprintf("p%d", g%3), Model: "tinymlp",
+					PeriodMs: float64(30 + 10*(g%3))},
+			)}).Canonicalize()
+			got, _, err := inc.Evaluate(context.Background(), cand)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want, _ := EvaluateScenario(context.Background(), cand)
+			if !verdictsEqual(got, want) {
+				t.Errorf("goroutine %d diverged:\n inc: %+v\ncold: %+v", g, got, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -79,7 +79,7 @@ func Parse(data []byte) (*Scenario, error) {
 	if len(sc.Tasks) == 0 {
 		return nil, fmt.Errorf("scenario: no tasks")
 	}
-	if err := sc.validateNumbers(); err != nil {
+	if err := sc.ValidateNumbers(); err != nil {
 		return nil, err
 	}
 	return &sc, nil
@@ -90,11 +90,13 @@ func Parse(data []byte) (*Scenario, error) {
 // comfortably inside int64 ns).
 const maxMs = 1e12
 
-// validateNumbers rejects non-finite or overflow-prone timing fields early:
+// ValidateNumbers rejects non-finite or overflow-prone timing fields early:
 // JSON permits no NaN/Inf literals, but scenarios can also be constructed in
 // Go, a NaN period slips past ordinary "<= 0" guards, and a huge horizon
-// overflows the ns conversion into negative virtual time.
-func (sc *Scenario) validateNumbers() error {
+// overflows the ns conversion into negative virtual time. Build applies it
+// implicitly; the incremental admission path (internal/analysis) calls it
+// directly so its error behavior matches Build's exactly.
+func (sc *Scenario) ValidateNumbers() error {
 	sane := func(v float64) bool { return !math.IsNaN(v) && v <= maxMs && v >= -maxMs }
 	if !sane(sc.HorizonMs) {
 		return fmt.Errorf("scenario: horizon_ms %v out of range", sc.HorizonMs)
@@ -172,7 +174,7 @@ func (sc *Scenario) FaultPlan() (*fault.Plan, error) {
 // the policy's limits, priorities are pinned or assigned rate-monotonic,
 // and SRAM provisioning is verified.
 func (sc *Scenario) Build() (*task.Set, cost.Platform, core.Policy, error) {
-	if err := sc.validateNumbers(); err != nil {
+	if err := sc.ValidateNumbers(); err != nil {
 		return nil, cost.Platform{}, core.Policy{}, err
 	}
 	plat, pol, err := sc.Resolve()
@@ -183,53 +185,11 @@ func (sc *Scenario) Build() (*task.Set, cost.Platform, core.Policy, error) {
 	pinned := 0
 	var ts []*task.Task
 	for _, tsp := range sc.Tasks {
-		if tsp.PeriodMs <= 0 {
-			return nil, plat, pol, fmt.Errorf("scenario: task %s: period %v ms", tsp.Name, tsp.PeriodMs)
-		}
-		var m *nn.Model
-		switch {
-		case tsp.Model != "" && tsp.ModelFile != "":
-			return nil, plat, pol, fmt.Errorf("scenario: task %s: set model or model_file, not both", tsp.Name)
-		case tsp.ModelFile != "":
-			f, err := os.Open(tsp.ModelFile)
-			if err != nil {
-				return nil, plat, pol, fmt.Errorf("scenario: task %s: %w", tsp.Name, err)
-			}
-			m, err = nn.Load(f)
-			f.Close()
-			if err != nil {
-				return nil, plat, pol, fmt.Errorf("scenario: task %s: %w", tsp.Name, err)
-			}
-		case tsp.Model != "":
-			seed := tsp.Seed
-			if seed == 0 {
-				seed = 1
-			}
-			var err error
-			m, err = models.Build(tsp.Model, seed)
-			if err != nil {
-				return nil, plat, pol, err
-			}
-		default:
-			return nil, plat, pol, fmt.Errorf("scenario: task %s: no model", tsp.Name)
-		}
-		pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+		tk, err := BuildTask(tsp, plat, lim)
 		if err != nil {
 			return nil, plat, pol, err
 		}
-		deadlineMs := tsp.DeadlineMs
-		if deadlineMs == 0 {
-			deadlineMs = tsp.PeriodMs
-		}
-		tk := &task.Task{
-			Name:     tsp.Name,
-			Plan:     pl,
-			Period:   sim.Duration(tsp.PeriodMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
-			Deadline: sim.Duration(deadlineMs * float64(sim.Millisecond)),   //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
-			Offset:   sim.Duration(tsp.OffsetMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
-		}
 		if tsp.Priority != nil {
-			tk.Priority = *tsp.Priority
 			pinned++
 		}
 		ts = append(ts, tk)
@@ -248,6 +208,68 @@ func (sc *Scenario) Build() (*task.Set, cost.Platform, core.Policy, error) {
 		return nil, plat, pol, err
 	}
 	return set, plat, pol, nil
+}
+
+// BuildTask instantiates one task spec under a platform and segmentation
+// limits: the model is built (zoo name + seed) or loaded (model_file),
+// segmented greedily under lim, and wrapped in a task with converted
+// timing. A pinned Priority is applied; rate-monotonic assignment over a
+// whole set remains the caller's job. This is Build's per-task body,
+// extracted so the admission hot path (internal/analysis) can build and
+// cache tasks one at a time with error behavior identical to Build's.
+// Note lim normally comes from pol.Limits(plat, n): segment budgets
+// depend on the task COUNT of the surrounding set, so a cached build is
+// only reusable at the same n.
+func BuildTask(tsp TaskSpec, plat cost.Platform, lim segment.Limits) (*task.Task, error) {
+	if tsp.PeriodMs <= 0 {
+		return nil, fmt.Errorf("scenario: task %s: period %v ms", tsp.Name, tsp.PeriodMs)
+	}
+	var m *nn.Model
+	switch {
+	case tsp.Model != "" && tsp.ModelFile != "":
+		return nil, fmt.Errorf("scenario: task %s: set model or model_file, not both", tsp.Name)
+	case tsp.ModelFile != "":
+		f, err := os.Open(tsp.ModelFile)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: task %s: %w", tsp.Name, err)
+		}
+		m, err = nn.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: task %s: %w", tsp.Name, err)
+		}
+	case tsp.Model != "":
+		seed := tsp.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		var err error
+		m, err = models.Build(tsp.Model, seed)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("scenario: task %s: no model", tsp.Name)
+	}
+	pl, err := segment.BuildLimits(m, plat, lim, segment.Greedy)
+	if err != nil {
+		return nil, err
+	}
+	deadlineMs := tsp.DeadlineMs
+	if deadlineMs == 0 {
+		deadlineMs = tsp.PeriodMs
+	}
+	tk := &task.Task{
+		Name:     tsp.Name,
+		Plan:     pl,
+		Period:   sim.Duration(tsp.PeriodMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
+		Deadline: sim.Duration(deadlineMs * float64(sim.Millisecond)),   //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
+		Offset:   sim.Duration(tsp.OffsetMs * float64(sim.Millisecond)), //lint:allow millitime -- config-parse boundary: validated float ms from the scenario file
+	}
+	if tsp.Priority != nil {
+		tk.Priority = *tsp.Priority
+	}
+	return tk, nil
 }
 
 // ParseTaskList parses the compact CLI syntax

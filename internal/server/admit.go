@@ -26,6 +26,11 @@ type AdmitRequest struct {
 	Policy    string            `json:"policy,omitempty"`
 	HorizonMs float64           `json:"horizon_ms,omitempty"`
 	Task      scenario.TaskSpec `json:"task"`
+	// Remove drops the named committed task instead of admitting one.
+	// Removal needs no schedulability test — shedding a task only shrinks
+	// demand — so it always succeeds when the task exists; only task.name
+	// is consulted from Task.
+	Remove bool `json:"remove,omitempty"`
 }
 
 // AdmitResponse is one admission decision. Committed lists the node's
@@ -35,15 +40,18 @@ type AdmitResponse struct {
 	RequestID uint64           `json:"request_id"`
 	Node      string           `json:"node"`
 	Admitted  bool             `json:"admitted"`
+	Removed   bool             `json:"removed,omitempty"`
 	Test      string           `json:"test,omitempty"`
 	Reason    string           `json:"reason,omitempty"`
 	WCRTNs    map[string]int64 `json:"wcrt_ns,omitempty"`
 	Committed []string         `json:"committed"`
 }
 
-// evalFunc judges a candidate scenario; the production implementation
-// builds the set and runs the policy's schedulability test. Injected so
-// admitter tests can run without model building.
+// evalFunc judges a candidate scenario. Injected so admitter tests can
+// run without model building; when nil (production), each node judges
+// candidates through its own analysis.IncrementalAnalyzer, which keeps
+// term caches and warm fixpoint starts across the node's admission
+// stream.
 type evalFunc func(ctx context.Context, sc *scenario.Scenario) (analysis.Verdict, error)
 
 // admitCall is one queued admission request plus its rendezvous.
@@ -67,6 +75,11 @@ type node struct {
 	committed []scenario.TaskSpec
 	pending   []*admitCall
 	draining  bool
+	// inc is the node's incremental analyzer (lazily created; only used
+	// when the admitter has no injected evalFunc). It evolves with the
+	// committed set: Commit after every accepted change, which keeps warm
+	// fixpoint starts valid across single-task additions.
+	inc *analysis.IncrementalAnalyzer
 }
 
 // admitter routes admission requests to per-node queues and drains each
@@ -214,6 +227,9 @@ func (a *admitter) decide(n *node, req AdmitRequest) (AdmitResponse, error) {
 	defer n.mu.Unlock()
 	resp := AdmitResponse{RequestID: req.RequestID, Node: req.Node, Committed: n.taskNames()}
 
+	if req.Remove {
+		return a.decideRemove(n, req, resp)
+	}
 	if !n.bound {
 		n.platform, n.policy, n.horizonMs = req.Platform, req.Policy, req.HorizonMs
 		n.bound = true
@@ -228,13 +244,26 @@ func (a *admitter) decide(n *node, req AdmitRequest) (AdmitResponse, error) {
 		}
 	}
 
-	cand := &scenario.Scenario{
+	cand := (&scenario.Scenario{
 		Platform:  n.platform,
 		Policy:    n.policy,
 		HorizonMs: n.horizonMs,
 		Tasks:     append(append([]scenario.TaskSpec(nil), n.committed...), req.Task),
+	}).Canonicalize()
+	var v analysis.Verdict
+	var err error
+	if a.eval != nil {
+		v, err = a.eval(a.base, cand)
+	} else {
+		if n.inc == nil {
+			n.inc = analysis.NewIncrementalAnalyzer()
+		}
+		var st analysis.EvalStats
+		v, st, err = n.inc.Evaluate(a.base, cand)
+		if st.Warm {
+			a.met.admitWarm.Inc()
+		}
 	}
-	v, err := a.eval(a.base, cand.Canonicalize())
 	if err != nil {
 		resp.Reason = err.Error()
 		a.met.admitRejected.Inc()
@@ -251,9 +280,52 @@ func (a *admitter) decide(n *node, req AdmitRequest) (AdmitResponse, error) {
 		return resp, nil
 	}
 	n.committed = append(n.committed, req.Task)
+	if n.inc != nil {
+		n.inc.Commit(cand)
+	}
 	resp.Admitted = true
 	resp.Committed = n.taskNames()
 	a.met.admitCommitted.Inc()
+	return resp, nil
+}
+
+// decideRemove drops a committed task. No schedulability test runs:
+// removing a task only shrinks demand, so the remaining set stays
+// schedulable. The node's warm analysis state is re-anchored via Commit
+// on the shrunk set — since that set was never evaluated, the commit
+// clears the warm bounds and the next admission runs cold fixpoints
+// (removals restart from the C+L base; see analysis.IncrementalAnalyzer).
+// Callers hold n.mu.
+func (a *admitter) decideRemove(n *node, req AdmitRequest, resp AdmitResponse) (AdmitResponse, error) {
+	if n.bound {
+		if err := n.checkBinding(req); err != nil {
+			resp.Reason = err.Error()
+			return resp, nil
+		}
+	}
+	at := -1
+	for i, t := range n.committed {
+		if t.Name == req.Task.Name {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		resp.Reason = fmt.Sprintf("task %q not committed on node %q", req.Task.Name, req.Node)
+		return resp, nil
+	}
+	n.committed = append(append([]scenario.TaskSpec(nil), n.committed[:at]...), n.committed[at+1:]...)
+	if n.inc != nil {
+		n.inc.Commit((&scenario.Scenario{
+			Platform:  n.platform,
+			Policy:    n.policy,
+			HorizonMs: n.horizonMs,
+			Tasks:     append([]scenario.TaskSpec(nil), n.committed...),
+		}).Canonicalize())
+	}
+	resp.Admitted = true
+	resp.Removed = true
+	resp.Committed = n.taskNames()
 	return resp, nil
 }
 

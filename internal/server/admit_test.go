@@ -9,8 +9,19 @@ import (
 	"time"
 
 	"rtmdm/internal/analysis"
+	"rtmdm/internal/metrics"
 	"rtmdm/internal/scenario"
 )
+
+// counterValue reads one counter out of a registry snapshot.
+func counterValue(t *testing.T, reg *metrics.Registry, name string) int64 {
+	t.Helper()
+	s, ok := reg.Snapshot().Get(name)
+	if !ok {
+		t.Fatalf("metric %s not registered", name)
+	}
+	return s.Value
+}
 
 // capEval admits while the candidate set holds at most max tasks — a
 // monotone stand-in for the real schedulability test, so admitter logic
@@ -147,11 +158,11 @@ func TestAdmitConcurrentDeterministic(t *testing.T) {
 	}
 }
 
-// TestAdmitRealEvaluator exercises the production evalFunc end to end:
-// small models admit, and verdicts carry WCRT bounds for committed
-// tasks.
+// TestAdmitRealEvaluator exercises the production path (nil evalFunc →
+// per-node incremental analyzer) end to end: small models admit, and
+// verdicts carry WCRT bounds for committed tasks.
 func TestAdmitRealEvaluator(t *testing.T) {
-	a := testAdmitter(0, evaluateScenario)
+	a := testAdmitter(0, nil)
 	ctx := context.Background()
 	req := admitReq(1, "mcu0", "kws")
 	req.Task.Model = "ds-cnn"
@@ -165,6 +176,104 @@ func TestAdmitRealEvaluator(t *testing.T) {
 	}
 	if len(resp.WCRTNs) == 0 || resp.WCRTNs["kws"] <= 0 {
 		t.Fatalf("no WCRT bound in response: %+v", resp)
+	}
+	a.waitIdle()
+}
+
+// TestAdmitRemove covers the removal op: dropping a committed task frees
+// capacity (a previously rejected admission then succeeds), removing an
+// unknown task fails without touching state, and responses flag Removed.
+func TestAdmitRemove(t *testing.T) {
+	a := testAdmitter(0, capEval(1))
+	ctx := context.Background()
+	if resp, _ := a.submit(ctx, admitReq(1, "n0", "t0")); !resp.Admitted {
+		t.Fatal("first admit rejected")
+	}
+	if resp, _ := a.submit(ctx, admitReq(2, "n0", "t1")); resp.Admitted {
+		t.Fatal("over-capacity admit accepted")
+	}
+
+	rm := admitReq(3, "n0", "t0")
+	rm.Remove = true
+	resp, err := a.submit(ctx, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Admitted || !resp.Removed {
+		t.Fatalf("remove failed: %+v", resp)
+	}
+	if len(resp.Committed) != 0 {
+		t.Fatalf("committed %v after removal; want empty", resp.Committed)
+	}
+
+	rm.RequestID = 4
+	if resp, _ := a.submit(ctx, rm); resp.Admitted || resp.Reason == "" {
+		t.Fatalf("removing an absent task succeeded: %+v", resp)
+	}
+
+	if resp, _ := a.submit(ctx, admitReq(5, "n0", "t1")); !resp.Admitted {
+		t.Fatalf("admit after removal rejected: %s", resp.Reason)
+	}
+	a.waitIdle()
+}
+
+// TestAdmitIncrementalWarm drives the production analyzer through a
+// realistic admission stream — several commits, a rejected probe, a
+// removal — and checks the committed set plus the warm metric: once a
+// set is committed, further probe evaluations must warm-start.
+func TestAdmitIncrementalWarm(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := newAdmitter(context.Background(), 0, nil, RegisterMetrics(reg))
+	ctx := context.Background()
+
+	mk := func(id uint64, name string, periodMs float64) AdmitRequest {
+		return AdmitRequest{RequestID: id, Node: "mcu0",
+			Task: scenario.TaskSpec{Name: name, Model: "tinymlp", PeriodMs: periodMs}}
+	}
+	// Admit with descending periods: each new task outranks the committed
+	// ones under RM, so the committed tasks keep their base terms and
+	// their previous bounds (which include real interference) are usable
+	// warm starts. The first two admissions cannot warm-start — "a" alone
+	// converges at its base — but from the third on at least one
+	// committed fixpoint must.
+	if resp, _ := a.submit(ctx, mk(1, "a", 200)); !resp.Admitted {
+		t.Fatalf("admit a: %s", resp.Reason)
+	}
+	if resp, _ := a.submit(ctx, mk(2, "b", 100)); !resp.Admitted {
+		t.Fatalf("admit b: %s", resp.Reason)
+	}
+	if resp, _ := a.submit(ctx, mk(3, "c", 50)); !resp.Admitted {
+		t.Fatalf("admit c: %s", resp.Reason)
+	}
+	warmAfterC := counterValue(t, reg, "server.admit_warm")
+	if warmAfterC == 0 {
+		t.Fatal("third admission did not warm-start any fixpoint")
+	}
+	// An infeasible probe (period far below the model's demand) is cut
+	// off by the necessary-condition screen and must not disturb the
+	// committed warm state.
+	if resp, _ := a.submit(ctx, mk(4, "probe", 0.001)); resp.Admitted {
+		t.Fatal("infeasible probe admitted")
+	}
+	if resp, _ := a.submit(ctx, mk(5, "d", 40)); !resp.Admitted {
+		t.Fatalf("admit d after rejected probe: %s", resp.Reason)
+	}
+	if got := counterValue(t, reg, "server.admit_warm"); got <= warmAfterC {
+		t.Fatalf("admit_warm stuck at %d after more admissions", got)
+	}
+
+	rm := mk(6, "b", 0)
+	rm.Remove = true
+	if resp, _ := a.submit(ctx, rm); !resp.Removed {
+		t.Fatalf("remove b: %+v", resp)
+	}
+	if got := a.committedTasks("mcu0"); !reflect.DeepEqual(got, []string{"a", "c", "d"}) {
+		t.Fatalf("committed %v; want [a c d]", got)
+	}
+	// Post-removal the warm state is cleared; the next admission runs
+	// cold and must still decide correctly.
+	if resp, _ := a.submit(ctx, mk(7, "e", 30)); !resp.Admitted {
+		t.Fatalf("admit e after removal: %s", resp.Reason)
 	}
 	a.waitIdle()
 }

@@ -22,6 +22,7 @@ type Metrics struct {
 	admitCommitted *metrics.Counter
 	admitRejected  *metrics.Counter
 	admitBatches   *metrics.Counter
+	admitWarm      *metrics.Counter
 }
 
 // latencyBounds buckets request latency from 100µs to 10s (values in
@@ -56,5 +57,6 @@ func RegisterMetrics(r *metrics.Registry) *Metrics {
 		admitCommitted: r.Counter("server.admit_committed", "tasks", "admission requests that committed a task to a node"),
 		admitRejected:  r.Counter("server.admit_rejected", "tasks", "admission requests rejected by the schedulability test"),
 		admitBatches:   r.Counter("server.admit_batches", "batches", "admission batches drained (each processes its requests in request_id order)"),
+		admitWarm:      r.Counter("server.admit_warm", "requests", "admission evaluations that warm-started at least one RTA fixpoint from the node's committed bounds"),
 	}
 }

@@ -22,7 +22,6 @@ import (
 	"strconv"
 	"time"
 
-	"rtmdm/internal/analysis"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/metrics"
 	"rtmdm/internal/scenario"
@@ -118,7 +117,10 @@ func New(cfg Config) *Server {
 		cancel: cancel,
 	}
 	s.cache = newResultCache(cfg.CacheEntries, cfg.CacheMaxEntryBytes, s.met)
-	s.adm = newAdmitter(base, cfg.AdmitWindow, evaluateScenario, s.met)
+	// nil evalFunc: each node judges candidates through its own
+	// incremental analyzer (warm fixpoint starts + term caches), falling
+	// back to the cold path whenever warm state cannot apply.
+	s.adm = newAdmitter(base, cfg.AdmitWindow, nil, s.met)
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /v1/metrics", s.handleMetrics)
@@ -246,20 +248,6 @@ func (s *Server) parseScenario(raw json.RawMessage) (*scenario.Scenario, string,
 		return nil, "", err
 	}
 	return canon, hash, nil
-}
-
-// evaluateScenario is the admission evalFunc: build the candidate set
-// and run the policy's schedulability test under ctx.
-func evaluateScenario(ctx context.Context, sc *scenario.Scenario) (analysis.Verdict, error) {
-	set, plat, pol, err := sc.Build()
-	if err != nil {
-		return analysis.Verdict{}, err
-	}
-	test, err := analysis.ForPolicyContext(ctx, pol)
-	if err != nil {
-		return analysis.Verdict{}, err
-	}
-	return test(set, plat), nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,7 +3,9 @@
 # server on an ephemeral port, run the quick load profile with the 10x
 # cache-speedup requirement, then SIGTERM the server and assert it
 # drains cleanly. Exercises bind, serve, cache, admission, and shutdown
-# end to end.
+# end to end. A second server (admission batching disabled so per-request
+# latency is visible) then runs the churn profile, asserting the
+# incremental analyzer's warm admissions beat the cold fill by 2x.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,4 +48,14 @@ if ! grep -q '^rtmdm-serve: drained$' "$workdir/serve.log"; then
     echo "smoke: server exited without draining" >&2
     exit 1
 fi
+
+churn_addr="127.0.0.1:18100"
+"$workdir/rtmdm-serve" -addr "$churn_addr" -admit-window=-1ms >"$workdir/serve_churn.log" 2>&1 &
+churn_pid=$!
+cleanup_server() { kill "$serve_pid" "$churn_pid" 2>/dev/null || true; }
+
+"$workdir/rtmdm-loadgen" -url "http://$churn_addr" -churn -quick -min-warm-speedup 2
+
+kill -TERM "$churn_pid"
+wait "$churn_pid" 2>/dev/null || true
 echo "smoke: OK"
