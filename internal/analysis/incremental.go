@@ -12,8 +12,12 @@
 //     was computed for;
 //  2. warm fixpoint starts: the previously converged WCRT of every
 //     committed task, used as the starting point of its RTA fixpoint when
-//     the delta is an addition (see docs/ANALYSIS.md for the monotonicity
-//     argument; removals restart cold from the C+L base);
+//     the delta leaves every task's segmentation unchanged — any addition
+//     under the serial families (their segment budget ignores the set
+//     size), but only committed-size evaluations under the prefetch
+//     families, whose SegmentBudget divides the staging SRAM by n·depth
+//     (see docs/ANALYSIS.md for the monotonicity argument; removals
+//     restart cold from the C+L base);
 //  3. an early-exit infeasibility screen (necessary utilization + demand
 //     conditions) that rejects before any fixpoint runs.
 //
@@ -353,12 +357,23 @@ func (a *IncrementalAnalyzer) newEntry(tk *task.Task) *taskEntry {
 
 // warmStart returns the warm fixpoint hook when the committed warm state
 // applies to the candidate: every committed task must appear in the
-// candidate with an unchanged spec. Additions on top of the committed set
-// are exactly the case the monotonicity argument covers (docs/ANALYSIS.md
-// §5); a removal or spec change returns nil and the fixpoints run cold
-// from their C+L bases.
+// candidate with an unchanged spec, and the candidate's segmentation must
+// be the one the bounds were computed under. The serial families segment
+// against a budget that ignores the set size, so any addition on top of
+// the committed set is covered by the monotonicity argument
+// (docs/ANALYSIS.md §9). The prefetch families divide the staging SRAM
+// by n·depth: a candidate at a different size re-segments every task,
+// blocking and demand terms can shrink, and the old bounds could start
+// the iteration above the new least fixpoint — where convergence lands
+// on a non-least fixpoint that no runtime guard detects. Those policies
+// therefore warm only at the committed size (re-evaluations of the
+// committed set itself); a size change, removal, or spec change returns
+// nil and the fixpoints run cold from their C+L bases.
 func (a *IncrementalAnalyzer) warmStart(sc *scenario.Scenario, hashes []string) *warmState {
 	if len(a.warmSet) == 0 {
+		return nil
+	}
+	if a.pol.PrefetchAcrossJobs && len(sc.Tasks) != len(a.warmSet) {
 		return nil
 	}
 	cand := make(map[string]string, len(sc.Tasks))

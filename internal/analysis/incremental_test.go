@@ -143,8 +143,11 @@ func replayOps(t *testing.T, data []byte) *diffDriver {
 // the incremental analyzer and the cold reference, asserting bit-identical
 // Verdicts (Schedulable, Test, WCRT maps, Reason strings) and errors.
 func FuzzIncrementalRTA(f *testing.F) {
-	// Descending periods: the warm path fires from the third addition.
+	// Descending periods under the default prefetch policy: additions run
+	// cold (set-size gate), the final committed-set check warm-starts.
 	f.Add([]byte{0, 0x40, 0x30, 0x20, 0x10, 0x00})
+	// The same stream under a serial family, where additions warm-start.
+	f.Add([]byte{1, 0x40, 0x30, 0x20, 0x10, 0x00})
 	// Every policy family over the same stream.
 	for p := 1; p < len(fuzzPolicies); p++ {
 		f.Add([]byte{byte(p), 0x40, 0x30, 0x20})
@@ -164,23 +167,44 @@ func FuzzIncrementalRTA(f *testing.F) {
 	})
 }
 
-// TestIncrementalWarmStarts pins that the warm path actually engages:
-// admitting in descending period order leaves every committed bound
-// valid, so the third admission must warm-start at least one fixpoint.
+// TestIncrementalWarmStarts pins where the warm path engages. The serial
+// families segment against an n-independent budget, so admitting in
+// descending period order leaves every committed bound valid and the
+// third admission must warm-start at least one fixpoint. The prefetch
+// families divide the staging SRAM by n·depth: an addition re-segments
+// every task, blocking/demand terms can shrink, and warm starts must be
+// refused — they apply only to evaluations at the committed set size.
 func TestIncrementalWarmStarts(t *testing.T) {
-	d := newDiffDriver(t, "rt-mdm")
-	for i, p := range []float64{200, 100, 50, 40} {
-		if !d.add(scenario.TaskSpec{Name: fmt.Sprintf("t%d", i), Model: "tinymlp", PeriodMs: p}) {
-			t.Fatalf("add t%d rejected", i)
+	addAll := func(d *diffDriver) {
+		t.Helper()
+		for i, p := range []float64{200, 100, 50, 40} {
+			if !d.add(scenario.TaskSpec{Name: fmt.Sprintf("t%d", i), Model: "tinymlp", PeriodMs: p}) {
+				t.Fatalf("add t%d rejected", i)
+			}
 		}
 	}
+
+	d := newDiffDriver(t, "serial-segfp")
+	addAll(d)
 	if !d.warmSeen {
-		t.Fatal("no evaluation warm-started")
+		t.Fatal("no serial-family addition warm-started")
 	}
-	// A probe on the committed set reports warm stats directly. The first
-	// probe at this set size builds fresh terms (segment budgets depend on
-	// the task count), so probe twice: the second must reuse every
-	// committed entry from the cache.
+
+	d = newDiffDriver(t, "rt-mdm")
+	addAll(d)
+	if d.warmSeen {
+		t.Fatal("prefetch-family addition warm-started across a set-size change")
+	}
+	// Re-evaluating the committed set itself preserves the segmentation
+	// the bounds were computed under, so the warm path must engage.
+	if _, st, err := d.inc.Evaluate(context.Background(), d.scenarioFor(d.committed)); err != nil {
+		t.Fatal(err)
+	} else if !st.Warm || st.WarmStarts == 0 {
+		t.Fatalf("committed-size re-evaluation did not warm-start: %+v", st)
+	}
+	// Probes still win through the term cache. The first probe at this
+	// set size builds fresh terms (segment budgets depend on the task
+	// count), so probe twice: the second must reuse every committed entry.
 	probe := func(name string) EvalStats {
 		cand := d.scenarioFor(append(append([]scenario.TaskSpec(nil), d.committed...),
 			scenario.TaskSpec{Name: name, Model: "tinymlp", PeriodMs: 30}))
@@ -190,8 +214,8 @@ func TestIncrementalWarmStarts(t *testing.T) {
 		}
 		return st
 	}
-	if st := probe("p0"); !st.Warm || st.WarmStarts == 0 {
-		t.Fatalf("probe did not warm-start: %+v", st)
+	if st := probe("p0"); st.Warm {
+		t.Fatalf("prefetch-family probe warm-started at a new set size: %+v", st)
 	}
 	if st := probe("p1"); st.TasksBuilt != 1 || st.TasksReused != len(d.committed) {
 		t.Fatalf("term cache missed on second probe: %+v", st)

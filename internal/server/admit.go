@@ -35,7 +35,9 @@ type AdmitRequest struct {
 
 // AdmitResponse is one admission decision. Committed lists the node's
 // task names after the decision (sorted), so a client can audit state
-// without another round trip.
+// without another round trip. Admitted reports only accepted
+// admissions (it mirrors the server.admit_committed metric); a
+// successful removal sets Removed alone and leaves Admitted false.
 type AdmitResponse struct {
 	RequestID uint64           `json:"request_id"`
 	Node      string           `json:"node"`
@@ -323,7 +325,6 @@ func (a *admitter) decideRemove(n *node, req AdmitRequest, resp AdmitResponse) (
 			Tasks:     append([]scenario.TaskSpec(nil), n.committed...),
 		}).Canonicalize())
 	}
-	resp.Admitted = true
 	resp.Removed = true
 	resp.Committed = n.taskNames()
 	return resp, nil

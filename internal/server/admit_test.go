@@ -199,8 +199,11 @@ func TestAdmitRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !resp.Admitted || !resp.Removed {
+	if !resp.Removed {
 		t.Fatalf("remove failed: %+v", resp)
+	}
+	if resp.Admitted {
+		t.Fatalf("removal set Admitted (reserved for accepted admissions): %+v", resp)
 	}
 	if len(resp.Committed) != 0 {
 		t.Fatalf("committed %v after removal; want empty", resp.Committed)
@@ -219,15 +222,18 @@ func TestAdmitRemove(t *testing.T) {
 
 // TestAdmitIncrementalWarm drives the production analyzer through a
 // realistic admission stream — several commits, a rejected probe, a
-// removal — and checks the committed set plus the warm metric: once a
-// set is committed, further probe evaluations must warm-start.
+// removal — and checks the committed set plus the warm metric. The node
+// pins a serial policy: serial segmentation ignores the set size, so
+// committed fixpoint bounds stay sound warm starts across additions
+// (under the prefetch policies a size change re-segments every task and
+// warm starts are refused — pinned at the end of this test).
 func TestAdmitIncrementalWarm(t *testing.T) {
 	reg := metrics.NewRegistry()
 	a := newAdmitter(context.Background(), 0, nil, RegisterMetrics(reg))
 	ctx := context.Background()
 
 	mk := func(id uint64, name string, periodMs float64) AdmitRequest {
-		return AdmitRequest{RequestID: id, Node: "mcu0",
+		return AdmitRequest{RequestID: id, Node: "mcu0", Policy: "serial-segfp",
 			Task: scenario.TaskSpec{Name: name, Model: "tinymlp", PeriodMs: periodMs}}
 	}
 	// Admit with descending periods: each new task outranks the committed
@@ -274,6 +280,22 @@ func TestAdmitIncrementalWarm(t *testing.T) {
 	// cold and must still decide correctly.
 	if resp, _ := a.submit(ctx, mk(7, "e", 30)); !resp.Admitted {
 		t.Fatalf("admit e after removal: %s", resp.Reason)
+	}
+
+	// Prefetch policy (the default): SegmentBudget depends on the set
+	// size, so an addition re-segments every committed task and the
+	// analyzer must refuse warm starts — admit_warm stays flat no matter
+	// how many tasks the node commits.
+	warmBefore := counterValue(t, reg, "server.admit_warm")
+	for i, p := range []float64{200, 100, 50, 40} {
+		req := AdmitRequest{RequestID: uint64(10 + i), Node: "mcu1", Policy: "rt-mdm",
+			Task: scenario.TaskSpec{Name: fmt.Sprintf("p%d", i), Model: "tinymlp", PeriodMs: p}}
+		if resp, _ := a.submit(ctx, req); !resp.Admitted {
+			t.Fatalf("rt-mdm admit p%d: %s", i, resp.Reason)
+		}
+	}
+	if got := counterValue(t, reg, "server.admit_warm"); got != warmBefore {
+		t.Fatalf("prefetch-policy additions warm-started (admit_warm %d -> %d); unsound across set sizes", warmBefore, got)
 	}
 	a.waitIdle()
 }
