@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify vet lint race fuzz bench golden smoke
+.PHONY: verify vet lint race fuzz bench golden smoke cluster-smoke
 
 # Tier-1: build + full test suite.
 verify:
@@ -23,7 +23,7 @@ lint:
 
 # Race tier: vet plus the race detector on the concurrent packages.
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis ./internal/cluster
 
 # Fuzz smoke: short coverage-guided runs of the scenario parser/builder,
 # the canonical-hash round trip, and the incremental-vs-cold analysis
@@ -47,3 +47,10 @@ golden:
 # assert a clean drain on SIGTERM. See docs/SERVER.md.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster smoke: 1-vs-4-shard throughput scaling behind rtmdm-gateway,
+# byte-identical seeded admission logs (chaos restarts included), and
+# weighted tenant fairness. Set CLUSTER_SMOKE_MIN_SCALE below 2.5 on
+# machines with fewer than ~5 cores. See docs/CLUSTER.md.
+cluster-smoke:
+	./scripts/cluster_smoke.sh

@@ -209,7 +209,7 @@ func moduleRoot() (string, error) {
 
 // metricNameRe mirrors docsync_test.go: backticked dotted identifiers in
 // the instrumented-package namespaces.
-var metricNameRe = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis)\\.[a-z0-9_]+)`")
+var metricNameRe = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster)\\.[a-z0-9_]+)`")
 
 // loadCatalog parses the metric catalogue out of docs/OBSERVABILITY.md.
 func loadCatalog(root string) (map[string]bool, error) {

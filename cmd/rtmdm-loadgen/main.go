@@ -24,6 +24,19 @@
 // toward one hot node, where every task's terms are served from the
 // analyzer's cache. -min-warm-speedup N fails the process if warm
 // probes are not N× faster than the cold fill; see docs/SERVER.md.
+//
+// -cluster drives an rtmdm-gateway fronting -cluster-shards rtmdm-serve
+// instances with a fixed seed-deterministic workload: mixed tenants
+// (-tenants gold=3,free=1 tags requests with X-Rtmdm-Tenant), hot-node
+// probe skew, optional seed-driven shard-kill chaos (-chaos-rate,
+// -chaos-cmd), and a sorted per-shard admission log (-admit-log) that
+// is byte-identical across same-seed runs; see cluster.go and
+// docs/CLUSTER.md.
+//
+// -json FILE writes a machine-readable report for any mode ('-' =
+// stdout): totals, per-endpoint stats for the mixed phase, and the
+// per-shard / per-tenant breakdown for cluster runs; the schema is
+// documented in docs/SERVER.md.
 package main
 
 import (
@@ -40,7 +53,78 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rtmdm/internal/cluster"
 )
+
+// opStats is the shared latency/throughput block of the JSON report.
+type opStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Shed     int     `json:"shed,omitempty"`
+	Retries  int     `json:"retries,omitempty"`
+	RPS      float64 `json:"rps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// shardReport breaks a cluster run down by owning shard.
+type shardReport struct {
+	Shard int `json:"shard"`
+	Nodes int `json:"nodes"`
+	opStats
+}
+
+// tenantReport breaks a cluster run down by tenant, with admission
+// verdict counts so CI can assert weighted fairness.
+type tenantReport struct {
+	Tenant   string `json:"tenant"`
+	Weight   int    `json:"weight"`
+	Admitted int    `json:"admitted"`
+	Rejected int    `json:"rejected"`
+	Removed  int    `json:"removed"`
+	opStats
+}
+
+// report is the -json output schema (documented in docs/SERVER.md).
+type report struct {
+	Mode         string             `json:"mode"`
+	Seed         int64              `json:"seed,omitempty"`
+	DurationS    float64            `json:"duration_s"`
+	Total        opStats            `json:"total"`
+	Endpoints    map[string]opStats `json:"endpoints,omitempty"`
+	Shards       []shardReport      `json:"shards,omitempty"`
+	Tenants      []tenantReport     `json:"tenants,omitempty"`
+	CacheSpeedup float64            `json:"cache_speedup,omitempty"`
+	WarmSpeedup  float64            `json:"warm_speedup,omitempty"`
+	ChaosKills   int                `json:"chaos_kills,omitempty"`
+
+	mixedErrors int // exit-status plumbing, not part of the schema
+}
+
+func writeReport(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
 
 type sample struct {
 	endpoint string
@@ -304,6 +388,21 @@ func main() {
 		churnTasks = flag.Int("churn-tasks", 16, "tasks committed per node by the churn fill")
 		hotFrac    = flag.Float64("hot-frac", 0.7, "fraction of churn operations aimed at the hot node")
 		minWarm    = flag.Float64("min-warm-speedup", 0, "fail unless warm admission speedup (cold fill p50 / warm probe p50) reaches this factor")
+
+		clusterMode  = flag.Bool("cluster", false, "drive an rtmdm-gateway cluster with a fixed seed-deterministic workload")
+		clusterShard = flag.Int("cluster-shards", 0, "shard count behind the gateway, mirrors its ring (required with -cluster)")
+		clusterRepl  = flag.Int("cluster-replicas", 64, "virtual ring points per shard (must match the gateway's -replicas)")
+		clusterNodes = flag.Int("cluster-nodes", 24, "admission nodes in the cluster workload")
+		clusterFill  = flag.Int("cluster-fill", 6, "tasks committed per node by the cluster fill")
+		clusterProbe = flag.Int("cluster-probes", 4, "probe add/remove cycles per cold node (hot nodes run 4x)")
+		hotNodes     = flag.Float64("hot-nodes", 0.125, "fraction of nodes receiving the hot probe boost")
+		seed         = flag.Int64("seed", 1, "cluster workload seed (probe periods, chaos decisions)")
+		tenantsSpec  = flag.String("tenants", "", "tenant weights name=w,... for the cluster mix (empty = untagged)")
+		admitLog     = flag.String("admit-log", "", "write the sorted per-shard admission log to FILE")
+		chaosRate    = flag.Float64("chaos-rate", 0, "per-tick probability of a seed-driven shard kill")
+		chaosCmd     = flag.String("chaos-cmd", "", "shell command run on each chaos kill; {shard} is substituted")
+		chaosTick    = flag.Duration("chaos-interval", 500*time.Millisecond, "chaos decision tick")
+		jsonOut      = flag.String("json", "", "write a JSON report to FILE ('-' = stdout)")
 	)
 	flag.Parse()
 	if *quick {
@@ -323,8 +422,57 @@ func main() {
 	}
 	fmt.Printf("rtmdm-loadgen: target %s\n", c.base)
 
+	rep := &report{Mode: "mixed"}
+	emit := func() {
+		if *jsonOut == "" {
+			return
+		}
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen: write report:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *clusterMode {
+		if *clusterShard <= 0 {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen: -cluster requires -cluster-shards > 0")
+			os.Exit(2)
+		}
+		weights, err := cluster.ParseTenantWeights(*tenantsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", err)
+			os.Exit(2)
+		}
+		clusterFillOps = *clusterFill
+		err = runCluster(c, clusterCfg{
+			shards:      *clusterShard,
+			replicas:    *clusterRepl,
+			nodes:       *clusterNodes,
+			fill:        *clusterFill,
+			probes:      *clusterProbe,
+			hotNodes:    *hotNodes,
+			seed:        *seed,
+			weights:     weights,
+			concurrency: *concurrency,
+			logPath:     *admitLog,
+			chaosRate:   *chaosRate,
+			chaosCmd:    *chaosCmd,
+			chaosTick:   *chaosTick,
+		}, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen: cluster:", err)
+			os.Exit(1)
+		}
+		printClusterSummary(rep)
+		emit()
+		return
+	}
+
 	if *churn {
+		rep.Mode = "churn"
 		warmSpeedup := runChurn(c, *churnNodes, *churnTasks, *hotFrac, *duration)
+		rep.WarmSpeedup = warmSpeedup
+		emit()
 		if *minWarm > 0 && warmSpeedup < *minWarm {
 			fmt.Fprintf(os.Stderr, "rtmdm-loadgen: warm admission speedup %.1fx below required %.1fx\n",
 				warmSpeedup, *minWarm)
@@ -334,8 +482,13 @@ func main() {
 	}
 
 	speedup := calibrate(c, *cold)
-	runMixed(c, mix, *concurrency, *duration)
+	rep.CacheSpeedup = speedup
+	runMixed(c, mix, *concurrency, *duration, rep)
+	emit()
 
+	if rep.mixedErrors > 0 {
+		os.Exit(1)
+	}
 	if *minSpeedup > 0 && speedup < *minSpeedup {
 		fmt.Fprintf(os.Stderr, "rtmdm-loadgen: cache speedup %.1fx below required %.1fx\n", speedup, *minSpeedup)
 		os.Exit(1)
@@ -382,8 +535,9 @@ func calibrate(c *client, cold int) float64 {
 }
 
 // runMixed fires the weighted endpoint mix from concurrent workers for
-// the configured duration and prints the per-endpoint report.
-func runMixed(c *client, mix map[string]int, concurrency int, duration time.Duration) {
+// the configured duration, prints the per-endpoint report, and fills
+// rep's endpoint breakdown.
+func runMixed(c *client, mix map[string]int, concurrency int, duration time.Duration, rep *report) {
 	var endpoints []string
 	for _, ep := range []string{"analyze", "simulate", "admit"} {
 		for i := 0; i < mix[ep]; i++ {
@@ -432,7 +586,14 @@ func runMixed(c *client, mix map[string]int, concurrency int, duration time.Dura
 	wg.Wait()
 
 	fmt.Printf("mixed phase: %v, %d workers\n", duration, concurrency)
+	secs := duration.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	rep.DurationS = secs
+	rep.Endpoints = map[string]opStats{}
 	total, errors := 0, 0
+	var allLats []time.Duration
 	for _, ep := range []string{"analyze", "simulate", "admit"} {
 		var lats []time.Duration
 		n, errs, shed := 0, 0, 0
@@ -456,8 +617,16 @@ func runMixed(c *client, mix map[string]int, concurrency int, duration time.Dura
 		}
 		total += n
 		errors += errs
+		allLats = append(allLats, lats...)
 		if n == 0 {
 			continue
+		}
+		rep.Endpoints[ep] = opStats{
+			Requests: n, Errors: errs, Shed: shed,
+			RPS:   float64(n) / secs,
+			P50Ms: msOf(percentile(lats, 50)),
+			P90Ms: msOf(percentile(lats, 90)),
+			P99Ms: msOf(percentile(lats, 99)),
 		}
 		fmt.Printf("  %-8s n=%-5d err=%-3d shed=%-3d p50=%-10v p90=%-10v p99=%v\n",
 			ep, n, errs, shed, percentile(lats, 50), percentile(lats, 90), percentile(lats, 99))
@@ -466,13 +635,14 @@ func runMixed(c *client, mix map[string]int, concurrency int, duration time.Dura
 				"", states["hit"], states["miss"], states["coalesced"])
 		}
 	}
-	secs := duration.Seconds()
-	if secs <= 0 {
-		secs = 1
+	rep.Total = opStats{
+		Requests: total, Errors: errors,
+		RPS:   float64(total) / secs,
+		P50Ms: msOf(percentile(allLats, 50)),
+		P90Ms: msOf(percentile(allLats, 90)),
+		P99Ms: msOf(percentile(allLats, 99)),
 	}
 	fmt.Printf("total: %d requests in %v (%.1f req/s), %d errors\n",
 		total, duration, float64(total)/secs, errors)
-	if errors > 0 {
-		os.Exit(1)
-	}
+	rep.mixedErrors = errors
 }

@@ -11,6 +11,7 @@
 //
 //	GET  /healthz      liveness probe
 //	GET  /v1/metrics   metrics snapshot (see docs/OBSERVABILITY.md)
+//	GET  /v1/snapshot  sealed admission-state snapshot (see docs/CLUSTER.md)
 //	POST /v1/analyze   per-policy schedulability verdicts + WCRT bounds
 //	POST /v1/simulate  deterministic simulation summary (+optional trace)
 //	POST /v1/admit     incremental per-node admission control
@@ -30,10 +31,33 @@ import (
 	"syscall"
 	"time"
 
+	"rtmdm/internal/cluster"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/metrics"
 	"rtmdm/internal/server"
 )
+
+// writeSnapshot dumps the admission state atomically: written to a temp
+// file in the same directory, then renamed over the target, so a crash
+// mid-write can never leave a truncated snapshot where a restore would
+// find it (truncation is also caught by the checksum at decode).
+func writeSnapshot(srv *server.Server, path, label string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteSnapshot(label, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
 
 func main() {
 	var (
@@ -45,11 +69,14 @@ func main() {
 		admitWindow  = flag.Duration("admit-window", 2*time.Millisecond, "admission batching window")
 		maxHorizonMs = flag.Float64("max-horizon-ms", 60000, "largest accepted scenario horizon in ms")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain deadline")
+		snapshotPath = flag.String("snapshot", "", "admission snapshot file: restored at boot if present, written after drain")
+		shardLabel   = flag.String("shard-label", "", "shard name stamped into exported snapshots")
 	)
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
 	exec.Instrument(reg)
+	cluster.Instrument(reg)
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -58,7 +85,23 @@ func main() {
 		AdmitWindow:    *admitWindow,
 		MaxHorizonMs:   *maxHorizonMs,
 		Registry:       reg,
+		ShardLabel:     *shardLabel,
 	})
+
+	if *snapshotPath != "" {
+		if f, err := os.Open(*snapshotPath); err == nil {
+			n, rerr := srv.RestoreSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "rtmdm-serve: restore snapshot:", rerr)
+				os.Exit(1)
+			}
+			fmt.Printf("rtmdm-serve: restored %d nodes from %s\n", n, *snapshotPath)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "rtmdm-serve:", err)
+			os.Exit(1)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,6 +132,15 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "rtmdm-serve: drain:", err)
 		os.Exit(1)
+	}
+	if *snapshotPath != "" {
+		// The admitter is drained, so this snapshot is quiescent: a
+		// replacement process restores it and resumes warm.
+		if err := writeSnapshot(srv, *snapshotPath, *shardLabel); err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-serve: write snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rtmdm-serve: snapshot written to %s\n", *snapshotPath)
 	}
 	fmt.Println("rtmdm-serve: drained")
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rtmdm/internal/analysis"
+	"rtmdm/internal/cluster"
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
@@ -25,13 +26,16 @@ func allMetricNames() map[string]bool {
 	expr.Instrument(reg)
 	workload.Instrument(reg)
 	analysis.Instrument(reg)
+	cluster.Instrument(reg)
 	server.RegisterMetrics(reg)
+	cluster.RegisterMetrics(reg)
 	defer func() {
 		exec.Instrument(nil)
 		dse.Instrument(nil)
 		expr.Instrument(nil)
 		workload.Instrument(nil)
 		analysis.Instrument(nil)
+		cluster.Instrument(nil)
 	}()
 	names := map[string]bool{}
 	for _, s := range reg.Snapshot().Samples {
@@ -43,7 +47,7 @@ func allMetricNames() map[string]bool {
 // metricName matches the catalogue entries in docs/OBSERVABILITY.md:
 // backticked dotted identifiers like `exec.jobs_released`, scoped to the
 // instrumented-package namespaces so file names like `out.json` don't count.
-var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis)\\.[a-z0-9_]+)`")
+var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster)\\.[a-z0-9_]+)`")
 
 // TestObservabilityDocMatchesRegistry keeps docs/OBSERVABILITY.md and the
 // registry in lockstep, both directions: every metric named in the doc must
@@ -83,6 +87,48 @@ func TestRobustnessDocNamesExist(t *testing.T) {
 	for _, m := range metricName.FindAllStringSubmatch(string(doc), -1) {
 		if !registered[m[1]] {
 			t.Errorf("docs/ROBUSTNESS.md names %q, which is not in the registry", m[1])
+		}
+	}
+}
+
+// TestClusterDocMatchesGateway keeps the endpoint table in
+// docs/CLUSTER.md and the gateway's mounted route table (cluster.Routes)
+// in lockstep, both directions. Only the "## Gateway endpoints" section
+// is scanned — the doc also names rtmdm-serve routes (like
+// `GET /v1/snapshot`) elsewhere, which are pinned by SERVER.md.
+func TestClusterDocMatchesGateway(t *testing.T) {
+	doc, err := os.ReadFile("docs/CLUSTER.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	section := string(doc)
+	if i := strings.Index(section, "## Gateway endpoints"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section[1:], "\n## "); j >= 0 {
+			section = section[:j+1]
+		}
+	} else {
+		t.Fatal("docs/CLUSTER.md has no \"## Gateway endpoints\" section")
+	}
+	routeRe := regexp.MustCompile("`((?:GET|POST) /[a-z0-9/]+)`")
+	documented := map[string]bool{}
+	for _, m := range routeRe.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	for _, route := range cluster.Routes() {
+		if !documented[route] {
+			t.Errorf("gateway route %q is missing from docs/CLUSTER.md's endpoint section", route)
+		}
+	}
+	for route := range documented {
+		found := false
+		for _, r := range cluster.Routes() {
+			if r == route {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("docs/CLUSTER.md documents route %q, which the gateway does not mount", route)
 		}
 	}
 }

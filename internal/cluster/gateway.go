@@ -1,0 +1,683 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/scenario"
+)
+
+// TenantHeader carries the tenant identity on every gateway request;
+// absent means the anonymous default tenant (weight 1 share).
+const TenantHeader = "X-Rtmdm-Tenant"
+
+// ShardHeader reports, on every proxied response, which shard served the
+// request — the observable half of the routing contract.
+const ShardHeader = "X-Rtmdm-Shard"
+
+// Config sizes the gateway. The zero value plus a shard list is usable:
+// every other field has a production default applied by NewGateway.
+type Config struct {
+	// Shards lists the rtmdm-serve base URLs (required, order defines
+	// shard indices 0..N-1 on the ring).
+	Shards []string
+	// Replicas is the virtual-point count per shard on the ring
+	// (default 64).
+	Replicas int
+	// ShardTimeout bounds each proxied attempt (default 15s).
+	ShardTimeout time.Duration
+	// Retries is the extra attempts after a failed shard round trip
+	// (transport error, 429, 502, 503, 504); default 2.
+	Retries int
+	// RetryBackoff is the first retry's backoff, doubling per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// FailThreshold is the consecutive-failure count that marks a shard
+	// degraded (default 3); degraded shards fail fast until a probe
+	// succeeds.
+	FailThreshold int
+	// ProbeInterval is how long a degraded shard rests before one
+	// half-open probe request is let through (default 1s).
+	ProbeInterval time.Duration
+	// AdmitWindow gathers concurrent admissions per shard and forwards
+	// them in (request_id, node) order (default 2ms; negative disables
+	// batching — requests still flow through the per-node FIFO lanes).
+	AdmitWindow time.Duration
+	// MaxInflight bounds concurrent forwards per shard (default 16).
+	MaxInflight int
+	// TenantWeights enables per-tenant quotas with weighted fairness;
+	// nil disables quota enforcement.
+	TenantWeights map[string]int
+	// TenantBudget is the global in-flight budget the weights divide
+	// (default 64).
+	TenantBudget int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the gateway.* metric family; nil disables
+	// instrumentation.
+	Registry *metrics.Registry
+	// Transport overrides the shard HTTP transport (tests); nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 15 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.AdmitWindow == 0 {
+		c.AdmitWindow = 2 * time.Millisecond
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 16
+	}
+	if c.TenantBudget <= 0 {
+		c.TenantBudget = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Routes is the gateway's route table, shared by NewGateway and the
+// docs/CLUSTER.md doc-sync test so the documented endpoint list cannot
+// drift from the mounted one.
+func Routes() []string {
+	return []string{
+		"GET /healthz",
+		"GET /v1/metrics",
+		"POST /v1/admit",
+		"POST /v1/analyze",
+		"POST /v1/simulate",
+	}
+}
+
+// Gateway routes admission-cluster traffic to rtmdm-serve shards: /v1/admit
+// by consistent hash of the node name, /v1/analyze and /v1/simulate by
+// consistent hash of the canonical scenario (cache affinity). Create with
+// NewGateway, mount as an http.Handler, call Shutdown before exit.
+type Gateway struct {
+	cfg    Config
+	mux    *http.ServeMux
+	ring   *Ring
+	met    *GatewayMetrics
+	quotas *Quotas
+	shards []*shard
+	base   context.Context
+	cancel context.CancelFunc
+
+	// drainMu/idle track live admit-drain and lane goroutines, using the
+	// cond-over-count pattern (a WaitGroup forbids Add racing Wait).
+	drainMu sync.Mutex
+	idle    *sync.Cond
+	active  int
+}
+
+// NewGateway builds a ready-to-serve Gateway from cfg.
+func NewGateway(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one shard URL")
+	}
+	ring, err := NewRing(len(cfg.Shards), cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	var quotas *Quotas
+	if cfg.TenantWeights != nil {
+		if quotas, err = NewQuotas(cfg.TenantBudget, cfg.TenantWeights); err != nil {
+			return nil, err
+		}
+	}
+	base, cancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		ring:   ring,
+		met:    RegisterMetrics(cfg.Registry),
+		quotas: quotas,
+		base:   base,
+		cancel: cancel,
+	}
+	g.idle = sync.NewCond(&g.drainMu)
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	for i, url := range cfg.Shards {
+		g.shards = append(g.shards, &shard{
+			gw:         g,
+			index:      i,
+			base:       strings.TrimRight(url, "/"),
+			client:     &http.Client{Transport: transport},
+			sem:        make(chan struct{}, cfg.MaxInflight),
+			lanes:      map[string][]*admitCall{},
+			laneActive: map[string]bool{},
+		})
+	}
+	g.met.shardCount.Set(int64(len(g.shards)))
+
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":      g.handleHealthz,
+		"GET /v1/metrics":   g.handleMetrics,
+		"POST /v1/admit":    g.handleAdmit,
+		"POST /v1/analyze":  g.proxyByScenario("/v1/analyze"),
+		"POST /v1/simulate": g.proxyByScenario("/v1/simulate"),
+	}
+	for _, pattern := range Routes() {
+		g.handle(pattern, handlers[pattern])
+	}
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// Shutdown cancels routing and waits for in-flight admit lanes to drain.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.cancel()
+	done := make(chan struct{})
+	go func() {
+		g.drainMu.Lock()
+		for g.active > 0 {
+			g.idle.Wait()
+		}
+		g.drainMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gateway) addActive() {
+	g.drainMu.Lock()
+	g.active++
+	g.drainMu.Unlock()
+}
+
+func (g *Gateway) endActive() {
+	g.drainMu.Lock()
+	g.active--
+	if g.active == 0 {
+		g.idle.Broadcast()
+	}
+	g.drainMu.Unlock()
+}
+
+// handle mounts h under the shared middleware: accounting, latency,
+// panic-to-500, and the per-tenant quota gate on the proxied routes.
+func (g *Gateway) handle(pattern string, h http.HandlerFunc) {
+	proxied := strings.HasPrefix(pattern, "POST ")
+	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		g.met.requests.Inc()
+		g.met.inflight.Add(1)
+		defer func() {
+			g.met.inflight.Add(-1)
+			g.met.latency.Observe(time.Since(start).Nanoseconds())
+			if v := recover(); v != nil {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("gateway panic: %v\n%s", v, debug.Stack()))
+			}
+		}()
+		if proxied && g.quotas != nil {
+			tenant := tenantOf(r)
+			release, ok := g.quotas.Acquire(tenant)
+			if !ok {
+				g.met.quotaRej.Inc()
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("tenant %q at its weighted in-flight cap (%d); retry shortly",
+						tenant, g.quotas.Limit(tenant)))
+				return
+			}
+			defer release()
+		}
+		h(w, r)
+	})
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// shardHealth is one shard's entry in the /healthz report.
+type shardHealth struct {
+	Index    int    `json:"index"`
+	URL      string `json:"url"`
+	Degraded bool   `json:"degraded"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Status  string        `json:"status"`
+		Shards  []shardHealth `json:"shards"`
+		Tenants []string      `json:"tenants,omitempty"`
+	}{Status: "ok", Tenants: g.quotas.Tenants()}
+	degraded := 0
+	for _, sh := range g.shards {
+		d := sh.isDegraded()
+		if d {
+			degraded++
+		}
+		out.Shards = append(out.Shards, shardHealth{Index: sh.index, URL: sh.base, Degraded: d})
+	}
+	if degraded == len(g.shards) {
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if g.cfg.Registry == nil {
+		writeError(w, http.StatusNotFound, "metrics registry not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	g.cfg.Registry.Snapshot().WriteJSON(w)
+}
+
+// admitCall is one admission request traversing a shard's batcher: the
+// raw body, the ordering key, and the rendezvous the handler waits on.
+type admitCall struct {
+	body      []byte
+	requestID uint64
+	node      string
+	res       *proxyResult
+	err       error
+	done      chan struct{}
+}
+
+// handleAdmit routes an admission to its node's shard through the
+// per-shard batcher. Only request_id and node are decoded here — full
+// validation is the shard's job; the gateway needs just the routing and
+// ordering keys.
+func (g *Gateway) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var key struct {
+		RequestID uint64 `json:"request_id"`
+		Node      string `json:"node"`
+	}
+	if err := json.Unmarshal(body, &key); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if key.Node == "" {
+		writeError(w, http.StatusBadRequest, "node must be set")
+		return
+	}
+	sh := g.shards[g.ring.Shard(key.Node)]
+	cl := &admitCall{body: body, requestID: key.RequestID, node: key.Node, done: make(chan struct{})}
+	sh.enqueue(cl)
+	select {
+	case <-cl.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err().Error())
+		return
+	case <-g.base.Done():
+		writeError(w, http.StatusServiceUnavailable, "gateway shutting down")
+		return
+	}
+	g.writeProxied(w, sh, cl.res, cl.err)
+}
+
+// proxyByScenario returns a handler that forwards path to the shard
+// owning the request's canonical scenario hash, giving every spelling of
+// one deployment a home shard and therefore one result cache to hit.
+// Bodies whose scenario cannot even be parsed still route (by raw-body
+// hash) so the owning shard produces the authoritative 400.
+func (g *Gateway) proxyByScenario(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		key := "raw:" + string(body)
+		var req struct {
+			Scenario json.RawMessage `json:"scenario"`
+		}
+		if err := json.Unmarshal(body, &req); err == nil && len(req.Scenario) > 0 {
+			if sc, err := scenario.Parse(req.Scenario); err == nil {
+				if h, err := scenario.CanonicalHash(sc); err == nil {
+					key = "scenario:" + h
+				}
+			}
+		}
+		sh := g.shards[g.ring.Shard(key)]
+		res, err := sh.forward(r.Context(), path, body)
+		g.writeProxied(w, sh, res, err)
+	}
+}
+
+// writeProxied relays a shard's response (or the routing failure) to the
+// client, stamping the serving shard.
+func (g *Gateway) writeProxied(w http.ResponseWriter, sh *shard, res *proxyResult, err error) {
+	w.Header().Set(ShardHeader, fmt.Sprintf("%d", sh.index))
+	if err != nil {
+		g.met.shardErrs.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", sh.index, sh.base, err))
+		return
+	}
+	if res.cache != "" {
+		w.Header().Set("X-Rtmdm-Cache", res.cache)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// proxyResult is a shard's response, buffered so retries can re-issue
+// the request and coalesced waiters can share it.
+type proxyResult struct {
+	status int
+	cache  string
+	body   []byte
+}
+
+// errDegraded fails a request fast against a shard resting in its
+// degraded window instead of burning a timeout per request.
+var errDegraded = fmt.Errorf("cluster: shard degraded; probe pending")
+
+// shard is one rtmdm-serve instance as seen by the gateway: its base
+// URL, the bounded-fan-out semaphore, the failure breaker, and the
+// admission batcher with per-node FIFO lanes.
+type shard struct {
+	gw     *Gateway
+	index  int
+	base   string
+	client *http.Client
+	sem    chan struct{}
+
+	// breaker state.
+	bmu         sync.Mutex
+	consecFails int
+	degraded    bool
+	lastFail    time.Time
+	probing     bool
+
+	// admission batcher: pending gathers one window's arrivals; lanes
+	// serialize forwards per node so a node's requests reach the shard
+	// in the order the batch sort put them in.
+	amu        sync.Mutex
+	pending    []*admitCall
+	draining   bool
+	lanes      map[string][]*admitCall
+	laneActive map[string]bool
+}
+
+func (sh *shard) isDegraded() bool {
+	sh.bmu.Lock()
+	defer sh.bmu.Unlock()
+	return sh.degraded
+}
+
+// allowAttempt gates one forward attempt through the breaker: healthy
+// shards always pass; a degraded shard passes exactly one half-open
+// probe per ProbeInterval and fails everything else fast.
+func (sh *shard) allowAttempt() (probe bool, ok bool) {
+	sh.bmu.Lock()
+	defer sh.bmu.Unlock()
+	if !sh.degraded {
+		return false, true
+	}
+	if sh.probing || time.Since(sh.lastFail) < sh.gw.cfg.ProbeInterval {
+		return false, false
+	}
+	sh.probing = true
+	return true, true
+}
+
+// recordAttempt feeds the breaker: a success closes it; a failure counts
+// toward the threshold and, once crossed, opens it.
+func (sh *shard) recordAttempt(probe, ok bool) {
+	sh.bmu.Lock()
+	defer sh.bmu.Unlock()
+	if probe {
+		sh.probing = false
+	}
+	if ok {
+		if sh.degraded {
+			sh.gw.met.degraded.Add(-1)
+		}
+		sh.consecFails, sh.degraded = 0, false
+		return
+	}
+	sh.consecFails++
+	sh.lastFail = time.Now()
+	if !sh.degraded && sh.consecFails >= sh.gw.cfg.FailThreshold {
+		sh.degraded = true
+		sh.gw.met.trips.Inc()
+		sh.gw.met.degraded.Add(1)
+	}
+}
+
+// retryableStatus marks shard responses worth another attempt: load
+// shedding (429) and gateway-class failures. 4xx validation errors and
+// 200s pass through; 500 passes through too — it is a shard bug, and
+// retrying a panic is how panics multiply.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// forward proxies one request to the shard with bounded fan-out, a
+// per-attempt timeout, retry with doubling backoff, and breaker
+// accounting. It returns the first conclusive shard response, or the
+// last error once the attempt budget is spent.
+func (sh *shard) forward(ctx context.Context, path string, body []byte) (*proxyResult, error) {
+	backoff := sh.gw.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= sh.gw.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			sh.gw.met.retries.Inc()
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-sh.gw.base.Done():
+				t.Stop()
+				return nil, fmt.Errorf("gateway shutting down")
+			}
+			backoff *= 2
+		}
+		probe, ok := sh.allowAttempt()
+		if !ok {
+			lastErr = errDegraded
+			continue
+		}
+		res, err := sh.attempt(ctx, path, body)
+		if err != nil {
+			sh.recordAttempt(probe, false)
+			lastErr = err
+			continue
+		}
+		if retryableStatus(res.status) {
+			// 429 is the shard shedding load, not failing: back off and
+			// retry without charging the breaker. The other retryable
+			// statuses are failures and count toward degradation.
+			sh.recordAttempt(probe, res.status == http.StatusTooManyRequests)
+			lastErr = fmt.Errorf("shard status %d", res.status)
+			if attempt == sh.gw.cfg.Retries {
+				// Out of budget: relay the shard's own response rather
+				// than masking it with a gateway error.
+				return res, nil
+			}
+			continue
+		}
+		sh.recordAttempt(probe, true)
+		return res, nil
+	}
+	return nil, lastErr
+}
+
+// attempt is one bounded round trip to the shard.
+func (sh *shard) attempt(ctx context.Context, path string, body []byte) (*proxyResult, error) {
+	select {
+	case sh.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-sh.sem }()
+	actx, cancel := context.WithTimeout(ctx, sh.gw.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, sh.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &proxyResult{status: resp.StatusCode, cache: resp.Header.Get("X-Rtmdm-Cache"), body: data}, nil
+}
+
+// enqueue adds an admission to the shard's current batch window,
+// starting the drain goroutine when none is live.
+func (sh *shard) enqueue(cl *admitCall) {
+	sh.amu.Lock()
+	sh.pending = append(sh.pending, cl)
+	if !sh.draining {
+		sh.draining = true
+		sh.gw.addActive()
+		go sh.drainAdmits()
+	}
+	sh.amu.Unlock()
+}
+
+// drainAdmits gathers one admission window, sorts it by (request_id,
+// node), and feeds the calls into per-node FIFO lanes — so concurrent
+// requests for one node always reach the shard in request_id order, and
+// requests for different nodes fan out in parallel under the shard's
+// in-flight bound. Loops until the queue is empty.
+func (sh *shard) drainAdmits() {
+	defer sh.gw.endActive()
+	for {
+		sh.waitWindow()
+		sh.amu.Lock()
+		batch := sh.pending
+		sh.pending = nil
+		if len(batch) == 0 {
+			sh.draining = false
+			sh.amu.Unlock()
+			return
+		}
+		sort.SliceStable(batch, func(i, j int) bool {
+			if batch[i].requestID != batch[j].requestID {
+				return batch[i].requestID < batch[j].requestID
+			}
+			return batch[i].node < batch[j].node
+		})
+		sh.gw.met.batches.Inc()
+		for _, cl := range batch {
+			sh.lanes[cl.node] = append(sh.lanes[cl.node], cl)
+			if !sh.laneActive[cl.node] {
+				sh.laneActive[cl.node] = true
+				sh.gw.addActive()
+				go sh.runLane(cl.node)
+			}
+		}
+		sh.amu.Unlock()
+	}
+}
+
+// waitWindow sleeps out the batching window, returning early on
+// shutdown (pending admissions are still forwarded, just unbatched).
+func (sh *shard) waitWindow() {
+	if sh.gw.cfg.AdmitWindow <= 0 {
+		return
+	}
+	t := time.NewTimer(sh.gw.cfg.AdmitWindow)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-sh.gw.base.Done():
+	}
+}
+
+// runLane forwards one node's queued admissions sequentially until the
+// lane empties. Sequential-per-node is the determinism contract: the
+// shard sees each node's requests in the batcher's sorted order.
+func (sh *shard) runLane(node string) {
+	defer sh.gw.endActive()
+	for {
+		sh.amu.Lock()
+		q := sh.lanes[node]
+		if len(q) == 0 {
+			delete(sh.lanes, node)
+			sh.laneActive[node] = false
+			delete(sh.laneActive, node)
+			sh.amu.Unlock()
+			return
+		}
+		cl := q[0]
+		sh.lanes[node] = q[1:]
+		sh.amu.Unlock()
+
+		sh.gw.met.forwarded.Inc()
+		cl.res, cl.err = sh.forward(sh.gw.base, "/v1/admit", cl.body)
+		close(cl.done)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Quotas enforces per-tenant admission-to-the-gateway limits with
+// weighted fairness: a global in-flight budget is divided among tenants
+// in proportion to their configured weights, so a flooding tenant can
+// saturate its own share but never starve another tenant's. Tenants
+// without an explicit weight share the DefaultWeight. A nil *Quotas
+// disables quota enforcement (every Acquire succeeds).
+type Quotas struct {
+	mu      sync.Mutex
+	weights map[string]int
+	limits  map[string]int
+	used    map[string]int
+	budget  int
+	defaultWeight
+}
+
+type defaultWeight struct {
+	weight int
+	sumW   int
+}
+
+// NewQuotas builds the quota table: budget is the global in-flight
+// request budget to split; weights maps tenant → weight (all ≥ 1).
+// Every tenant's limit is max(1, round(weight/Σweights × budget)), where
+// Σweights includes one DefaultWeight share for unlisted tenants.
+func NewQuotas(budget int, weights map[string]int) (*Quotas, error) {
+	if budget <= 0 {
+		budget = 64
+	}
+	sumW := 1 // the implicit default-tenant share
+	for t, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("cluster: tenant %q weight %d below 1", t, w)
+		}
+		sumW += w
+	}
+	q := &Quotas{
+		weights:       make(map[string]int, len(weights)),
+		limits:        make(map[string]int, len(weights)),
+		used:          make(map[string]int),
+		budget:        budget,
+		defaultWeight: defaultWeight{weight: 1, sumW: sumW},
+	}
+	for t, w := range weights {
+		q.weights[t] = w
+		q.limits[t] = q.limitFor(w)
+	}
+	return q, nil
+}
+
+// limitFor converts a weight into an in-flight cap: the tenant's
+// proportional share of the budget, never below 1.
+func (q *Quotas) limitFor(w int) int {
+	lim := (w*q.budget + q.sumW/2) / q.sumW
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
+
+// Limit reports a tenant's in-flight cap (unlisted tenants get the
+// default-weight share).
+func (q *Quotas) Limit(tenant string) int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if lim, ok := q.limits[tenant]; ok {
+		return lim
+	}
+	return q.limitFor(q.weight)
+}
+
+// Acquire claims one in-flight slot for tenant. It never blocks: a
+// tenant at its cap is refused immediately (the gateway maps that to 429
+// so the client retries with backoff, exactly like worker-pool
+// saturation). On success the returned release must be called once.
+func (q *Quotas) Acquire(tenant string) (release func(), ok bool) {
+	if q == nil {
+		return func() {}, true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lim, listed := q.limits[tenant]
+	if !listed {
+		lim = q.limitFor(q.weight)
+	}
+	if q.used[tenant] >= lim {
+		return nil, false
+	}
+	q.used[tenant]++
+	return func() {
+		q.mu.Lock()
+		q.used[tenant]--
+		if q.used[tenant] == 0 {
+			delete(q.used, tenant)
+		}
+		q.mu.Unlock()
+	}, true
+}
+
+// Tenants returns the configured tenants sorted by name — the stable
+// order /healthz and the docs use.
+func (q *Quotas) Tenants() []string {
+	if q == nil {
+		return nil
+	}
+	names := make([]string, 0, len(q.weights))
+	for t := range q.weights {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseTenantWeights parses the CLI spec "a=3,b=1" shared by
+// rtmdm-gateway and rtmdm-loadgen. An empty spec yields nil (quotas
+// disabled at the gateway, one anonymous tenant at the loadgen).
+func ParseTenantWeights(spec string) (map[string]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("cluster: bad tenant entry %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("cluster: bad tenant weight %q", part)
+		}
+		out[kv[0]] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestQuotaWeightedLimits(t *testing.T) {
+	// budget 12 over gold=3, free=1, plus the implicit default share:
+	// sumW = 5, so gold ≈ 7, free ≈ 2, unlisted tenants ≈ 2.
+	q, err := NewQuotas(12, map[string]int{"gold": 3, "free": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Limit("gold"); got != 7 {
+		t.Fatalf("gold limit = %d, want 7", got)
+	}
+	if got := q.Limit("free"); got != 2 {
+		t.Fatalf("free limit = %d, want 2", got)
+	}
+	if got := q.Limit("stranger"); got != 2 {
+		t.Fatalf("unlisted limit = %d, want the default share 2", got)
+	}
+	if got := q.Tenants(); !reflect.DeepEqual(got, []string{"free", "gold"}) {
+		t.Fatalf("Tenants() = %v", got)
+	}
+}
+
+func TestQuotaAcquireReleaseCycle(t *testing.T) {
+	q, err := NewQuotas(12, map[string]int{"gold": 3, "free": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, ok := q.Acquire("free")
+		if !ok {
+			t.Fatalf("free acquire %d refused below its cap", i)
+		}
+		releases = append(releases, rel)
+	}
+	if _, ok := q.Acquire("free"); ok {
+		t.Fatal("free acquired past its weighted cap")
+	}
+	// Another tenant's headroom is untouched by free's saturation.
+	if rel, ok := q.Acquire("gold"); !ok {
+		t.Fatal("gold refused while free is saturated")
+	} else {
+		rel()
+	}
+	releases[0]()
+	if rel, ok := q.Acquire("free"); !ok {
+		t.Fatal("free refused after a release freed a slot")
+	} else {
+		rel()
+	}
+}
+
+func TestQuotaLimitNeverBelowOne(t *testing.T) {
+	// A tiny budget over heavy weights still grants every tenant at
+	// least one in-flight slot — weighted fairness must not starve.
+	q, err := NewQuotas(2, map[string]int{"a": 100, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Limit("b"); got < 1 {
+		t.Fatalf("b limit = %d, want >= 1", got)
+	}
+}
+
+func TestQuotaNilDisablesEnforcement(t *testing.T) {
+	var q *Quotas
+	rel, ok := q.Acquire("anyone")
+	if !ok {
+		t.Fatal("nil quotas refused an acquire")
+	}
+	rel()
+	if q.Tenants() != nil {
+		t.Fatal("nil quotas reported tenants")
+	}
+}
+
+func TestQuotaRejectsBadWeight(t *testing.T) {
+	if _, err := NewQuotas(8, map[string]int{"zero": 0}); err == nil {
+		t.Fatal("weight 0 accepted")
+	}
+}
+
+func TestParseTenantWeights(t *testing.T) {
+	got, err := ParseTenantWeights(" gold=3, free=1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, map[string]int{"gold": 3, "free": 1}) {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := ParseTenantWeights(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v (want nil, nil)", got, err)
+	}
+	for _, bad := range []string{"gold", "gold=0", "=3", "gold=x"} {
+		if _, err := ParseTenantWeights(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRejectsEmptyCluster(t *testing.T) {
+	if _, err := NewRing(0, 64); err == nil {
+		t.Fatal("NewRing(0) succeeded")
+	}
+	if _, err := NewRing(-1, 64); err == nil {
+		t.Fatal("NewRing(-1) succeeded")
+	}
+}
+
+// TestRingDeterministic pins the contract the loadgen's per-shard report
+// depends on: two independently built rings over the same (shards,
+// replicas) agree on every key, in-process and across processes.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cn-%03d", i)
+		if a.Shard(key) != b.Shard(key) {
+			t.Fatalf("ring disagrees on %q: %d vs %d", key, a.Shard(key), b.Shard(key))
+		}
+	}
+	if a.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", a.Shards())
+	}
+}
+
+// TestRingDistribution checks the virtual replicas spread a realistic
+// node-name population roughly evenly: no shard far above or below its
+// fair share.
+func TestRingDistribution(t *testing.T) {
+	const shards, keys = 4, 8000
+	r, err := NewRing(shards, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("node-%05d", i))]++
+	}
+	fair := keys / shards
+	for s, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %d): distribution too skewed %v",
+				s, n, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingGrowMovesMinority checks the consistent-hashing property:
+// growing the cluster by one shard remaps only a minority of keys, and
+// every remapped key lands on the new shard (existing shards never trade
+// keys among themselves).
+func TestRingGrowMovesMinority(t *testing.T) {
+	const keys = 4000
+	small, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("node-%05d", i)
+		before, after := small.Shard(key), big.Shard(key)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != 4 {
+			t.Fatalf("key %q moved %d→%d instead of onto the new shard", key, before, after)
+		}
+	}
+	// Expected move fraction is 1/5; allow generous slack but require a
+	// clear minority.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("grow moved %d of %d keys", moved, keys)
+	}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rtmdm/internal/scenario"
+)
+
+// SnapshotVersion versions the snapshot encoding. Bump it whenever the
+// record schema changes so a shard can never silently restore state
+// written under different semantics.
+const SnapshotVersion = 1
+
+// NodeState is one admission node's committed state: its pinned binding,
+// the committed task specs in commit order, and the scenario.CanonicalHash
+// of the committed scenario. The hash is the record's key and its
+// integrity check — Decode recomputes it, so a record whose tasks or
+// binding were corrupted (or hand-edited) is rejected rather than
+// restored; it is also the cross-shard dedup vocabulary: two shards
+// holding the same deployment state hold the same hash.
+type NodeState struct {
+	Node      string              `json:"node"`
+	Platform  string              `json:"platform,omitempty"`
+	Policy    string              `json:"policy,omitempty"`
+	HorizonMs float64             `json:"horizon_ms,omitempty"`
+	Tasks     []scenario.TaskSpec `json:"tasks"`
+	Hash      string              `json:"hash"`
+}
+
+// Scenario reassembles the node's committed scenario (the input to
+// CanonicalHash and to a warm re-analysis on restore).
+func (ns *NodeState) Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Platform:  ns.Platform,
+		Policy:    ns.Policy,
+		HorizonMs: ns.HorizonMs,
+		Tasks:     append([]scenario.TaskSpec(nil), ns.Tasks...),
+	}
+}
+
+// Snapshot is a shard's full committed admission state. Nodes are sorted
+// by name and Checksum covers the version plus every record, so equal
+// states serialize byte-identically and any truncation or bit flip is
+// detected before a single node is restored.
+type Snapshot struct {
+	Version  int         `json:"version"`
+	Shard    string      `json:"shard,omitempty"`
+	Nodes    []NodeState `json:"nodes"`
+	Checksum string      `json:"checksum"`
+}
+
+// NewSnapshot assembles and seals a snapshot: per-node hashes are
+// computed from each node's committed scenario, nodes are sorted by
+// name, and the whole-snapshot checksum is stamped.
+func NewSnapshot(shard string, nodes []NodeState) (*Snapshot, error) {
+	snap := &Snapshot{Version: SnapshotVersion, Shard: shard, Nodes: append([]NodeState(nil), nodes...)}
+	for i := range snap.Nodes {
+		ns := &snap.Nodes[i]
+		if ns.Node == "" {
+			return nil, fmt.Errorf("cluster: snapshot node %d has no name", i)
+		}
+		h, err := scenario.CanonicalHash(ns.Scenario())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot node %q: %w", ns.Node, err)
+		}
+		ns.Hash = h
+	}
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].Node < snap.Nodes[j].Node })
+	for i := 1; i < len(snap.Nodes); i++ {
+		if snap.Nodes[i].Node == snap.Nodes[i-1].Node {
+			return nil, fmt.Errorf("cluster: snapshot has duplicate node %q", snap.Nodes[i].Node)
+		}
+	}
+	sum, err := snap.checksum()
+	if err != nil {
+		return nil, err
+	}
+	snap.Checksum = sum
+	return snap, nil
+}
+
+// checksum digests the version and the node records (Checksum itself
+// excluded) under the deterministic JSON encoding.
+func (s *Snapshot) checksum() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "rtmdm-admission-snapshot-v%d\n", s.Version)
+	enc, err := json.Marshal(s.Nodes)
+	if err != nil {
+		return "", fmt.Errorf("cluster: snapshot checksum: %w", err)
+	}
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Encode writes the snapshot as indented JSON (the format is an
+// operational artifact; ops diff these files).
+func (s *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("cluster: encode snapshot: %w", err)
+	}
+	cinstr.Load().snapshotSaves.Inc()
+	cinstr.Load().snapshotNodes.Add(int64(len(s.Nodes)))
+	return nil
+}
+
+// DecodeSnapshot reads and fully verifies a snapshot: JSON must decode
+// with no unknown fields and no trailing garbage, the version must
+// match, the whole-snapshot checksum must verify, node order must be
+// sorted and duplicate-free, and every record's CanonicalHash must
+// recompute to its stored value. Any failure rejects the whole snapshot
+// — a shard either restores a provably intact state or starts cold.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var snap Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		cinstr.Load().snapshotRejected.Inc()
+		return nil, fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	if dec.More() {
+		cinstr.Load().snapshotRejected.Inc()
+		return nil, fmt.Errorf("cluster: decode snapshot: trailing data after snapshot object")
+	}
+	if err := snap.verify(); err != nil {
+		cinstr.Load().snapshotRejected.Inc()
+		return nil, err
+	}
+	cinstr.Load().snapshotRestores.Inc()
+	return &snap, nil
+}
+
+func (s *Snapshot) verify() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("cluster: snapshot version %d, this build reads v%d", s.Version, SnapshotVersion)
+	}
+	sum, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	if sum != s.Checksum {
+		return fmt.Errorf("cluster: snapshot checksum mismatch (stored %.12s…, computed %.12s…): file is corrupt or truncated", s.Checksum, sum)
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if ns.Node == "" {
+			return fmt.Errorf("cluster: snapshot node %d has no name", i)
+		}
+		if i > 0 && s.Nodes[i-1].Node >= ns.Node {
+			return fmt.Errorf("cluster: snapshot nodes out of order at %q", ns.Node)
+		}
+		h, err := scenario.CanonicalHash(ns.Scenario())
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot node %q: %w", ns.Node, err)
+		}
+		if h != ns.Hash {
+			return fmt.Errorf("cluster: snapshot node %q hash mismatch (stored %.12s…, computed %.12s…)", ns.Node, ns.Hash, h)
+		}
+	}
+	return nil
+}

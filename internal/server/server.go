@@ -58,6 +58,10 @@ type Config struct {
 	// Registry receives the server.* metric family; nil disables
 	// instrumentation.
 	Registry *metrics.Registry
+	// ShardLabel names this instance in exported admission snapshots
+	// (GET /v1/snapshot and shutdown dumps); empty is fine for a
+	// single-process deployment.
+	ShardLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +128,7 @@ func New(cfg Config) *Server {
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("GET /v1/snapshot", s.handleSnapshotHTTP)
 	s.handle("POST /v1/analyze", s.handleAnalyze)
 	s.handle("POST /v1/simulate", s.handleSimulate)
 	s.handle("POST /v1/admit", s.handleAdmit)
@@ -188,6 +193,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		// Headers are gone; nothing recoverable remains.
 		return
 	}
+}
+
+// handleSnapshotHTTP serves the sealed admission snapshot — the state a
+// replacement shard restores from (docs/CLUSTER.md). Exported from a
+// live server it reflects the decisions committed so far; a quiescent
+// export happens on shutdown via the -snapshot flag.
+func (s *Server) handleSnapshotHTTP(w http.ResponseWriter, _ *http.Request) {
+	snap, err := s.ExportState(s.cfg.ShardLabel)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.Encode(w)
 }
 
 // compute runs the cached/coalesced/pooled computation pipeline shared

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/cluster"
+	"rtmdm/internal/scenario"
+)
+
+// ExportState captures every node's committed admission state as a
+// sealed cluster.Snapshot (per-node CanonicalHash records plus a
+// whole-snapshot checksum). label names the shard in the snapshot.
+// Nodes still deciding a batch are captured after their in-flight
+// decisions only if those have committed — callers that need a quiescent
+// snapshot (shutdown) export after the admitter drained.
+func (s *Server) ExportState(label string) (*cluster.Snapshot, error) {
+	return s.adm.export(label)
+}
+
+// WriteSnapshot exports the admission state and encodes it onto w.
+func (s *Server) WriteSnapshot(label string, w io.Writer) error {
+	snap, err := s.ExportState(label)
+	if err != nil {
+		return err
+	}
+	return snap.Encode(w)
+}
+
+// RestoreState installs a verified snapshot into an empty admitter and
+// warms each restored node: the committed scenario is re-evaluated once
+// through the node's incremental analyzer and committed, so the first
+// live admission after a restart already runs against cached terms and
+// (where sound) warm fixpoint bounds. Restoring onto a node that
+// already has state is an error — restore is a boot-time operation.
+func (s *Server) RestoreState(snap *cluster.Snapshot) error {
+	return s.adm.restore(snap)
+}
+
+// RestoreSnapshot decodes, verifies, and restores a snapshot from r.
+// Corrupt or truncated snapshots are rejected before any node state
+// changes. Returns the restored node count.
+func (s *Server) RestoreSnapshot(r io.Reader) (int, error) {
+	snap, err := cluster.DecodeSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.RestoreState(snap); err != nil {
+		return 0, err
+	}
+	return len(snap.Nodes), nil
+}
+
+// export snapshots the admitter's nodes. Unbound empty nodes (created by
+// a request that never decided) are skipped; bound nodes are captured
+// even when their committed set is empty — the binding is state.
+func (a *admitter) export(label string) (*cluster.Snapshot, error) {
+	a.mu.Lock()
+	names := make([]string, 0, len(a.nodes))
+	nodes := make(map[string]*node, len(a.nodes))
+	for name, n := range a.nodes {
+		names = append(names, name)
+		nodes[name] = n
+	}
+	a.mu.Unlock()
+	sort.Strings(names)
+
+	var states []cluster.NodeState
+	for _, name := range names {
+		n := nodes[name]
+		n.mu.Lock()
+		if n.bound {
+			states = append(states, cluster.NodeState{
+				Node:      name,
+				Platform:  n.platform,
+				Policy:    n.policy,
+				HorizonMs: n.horizonMs,
+				Tasks:     append([]scenario.TaskSpec(nil), n.committed...),
+			})
+		}
+		n.mu.Unlock()
+	}
+	return cluster.NewSnapshot(label, states)
+}
+
+// restore installs snapshot state into the admitter. Each restored node
+// gets its binding, its committed set, and a warmed incremental
+// analyzer (one cold evaluation of the committed scenario, committed so
+// later admissions reuse its terms and bounds). All-or-nothing per
+// snapshot: the first failing node aborts with nothing partially
+// installed.
+func (a *admitter) restore(snap *cluster.Snapshot) error {
+	restored := make(map[string]*node, len(snap.Nodes))
+	for i := range snap.Nodes {
+		ns := &snap.Nodes[i]
+		n := &node{
+			platform:  ns.Platform,
+			policy:    ns.Policy,
+			horizonMs: ns.HorizonMs,
+			bound:     true,
+			committed: append([]scenario.TaskSpec(nil), ns.Tasks...),
+		}
+		if len(ns.Tasks) > 0 && a.eval == nil {
+			sc := ns.Scenario().Canonicalize()
+			n.inc = analysis.NewIncrementalAnalyzer()
+			v, _, err := n.inc.Evaluate(a.base, sc)
+			if err != nil {
+				return fmt.Errorf("server: restore node %q: %w", ns.Node, err)
+			}
+			if !v.Schedulable {
+				// The set was admitted incrementally, so a full re-analysis
+				// must accept it; a rejection means the snapshot does not
+				// describe a state this build's analysis can certify.
+				return fmt.Errorf("server: restore node %q: committed set no longer schedulable (%s: %s)",
+					ns.Node, v.Test, v.Reason)
+			}
+			n.inc.Commit(sc)
+		}
+		restored[ns.Node] = n
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for name := range restored {
+		if existing, ok := a.nodes[name]; ok {
+			existing.mu.Lock()
+			dirty := existing.bound || len(existing.committed) > 0
+			existing.mu.Unlock()
+			if dirty {
+				return fmt.Errorf("server: restore: node %q already has admission state", name)
+			}
+		}
+	}
+	for name, n := range restored {
+		a.nodes[name] = n
+	}
+	return nil
+}

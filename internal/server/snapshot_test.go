@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"rtmdm/internal/cluster"
+)
+
+func snapAddBody(id uint64, node, name string, periodMs float64) string {
+	return fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {
+		"name": %q, "model": "tinymlp", "period_ms": %g
+	}}`, id, node, name, periodMs)
+}
+
+func snapRemoveBody(id uint64, node, name string) string {
+	return fmt.Sprintf(`{"request_id": %d, "node": %q, "remove": true, "task": {"name": %q}}`,
+		id, node, name)
+}
+
+// fillNodes commits a small deterministic task set on two nodes and
+// returns the admitted bodies' count as a sanity anchor.
+func fillNodes(t *testing.T, url string) {
+	t.Helper()
+	id := uint64(0)
+	for _, node := range []string{"alpha", "beta"} {
+		for i := 0; i < 3; i++ {
+			id++
+			resp, body := post(t, url+"/v1/admit", snapAddBody(id, node, fmt.Sprintf("t%02d", i), float64(60-10*i)))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("fill %s t%02d: status %d: %s", node, i, resp.StatusCode, body)
+			}
+		}
+	}
+}
+
+// replaySequence runs the same probe sequence (additions that pass,
+// additions that reject, removals) and returns the raw response bodies
+// in order — the observable admission behavior.
+func replaySequence(t *testing.T, url string) [][]byte {
+	t.Helper()
+	var out [][]byte
+	ops := []string{
+		snapAddBody(100, "alpha", "probe", 30),
+		snapAddBody(101, "alpha", "flood", 0.8), // tight period: verdict must match either way
+		snapRemoveBody(102, "alpha", "probe"),
+		snapAddBody(103, "beta", "probe", 28),
+		snapRemoveBody(104, "beta", "probe"),
+		snapRemoveBody(105, "beta", "ghost"), // never committed
+	}
+	for i, op := range ops {
+		resp, body := post(t, url+"/v1/admit", op)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replay op %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		out = append(out, body)
+	}
+	return out
+}
+
+// TestSnapshotRoundTripRestore is the snapshot property test: commit
+// state, snapshot it over HTTP, restore into a fresh server, and the
+// restored server must answer an identical probe sequence with
+// byte-identical verdicts — a restored shard is indistinguishable from
+// one that never restarted.
+func TestSnapshotRoundTripRestore(t *testing.T) {
+	_, tsA := newTestServer(t, Config{ShardLabel: "shard-A"})
+	fillNodes(t, tsA.URL)
+
+	resp, data := func() (*http.Response, []byte) {
+		resp, err := http.Get(tsA.URL + "/v1/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot endpoint: status %d: %s", resp.StatusCode, data)
+	}
+	snap, err := cluster.DecodeSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("exported snapshot does not verify: %v", err)
+	}
+	if snap.Shard != "shard-A" || len(snap.Nodes) != 2 {
+		t.Fatalf("snapshot shard %q with %d nodes, want shard-A with 2", snap.Shard, len(snap.Nodes))
+	}
+
+	srvB, tsB := newTestServer(t, Config{})
+	n, err := srvB.RestoreSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d nodes, want 2", n)
+	}
+
+	want := replaySequence(t, tsA.URL)
+	got := replaySequence(t, tsB.URL)
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("replay op %d diverged after restore:\n  original: %s\n  restored: %s",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestSnapshotCorruptRejected: a damaged snapshot is refused wholesale
+// and the server stays cold and usable.
+func TestSnapshotCorruptRejected(t *testing.T) {
+	_, tsA := newTestServer(t, Config{})
+	fillNodes(t, tsA.URL)
+	var buf bytes.Buffer
+	resp, err := http.Get(tsA.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+
+	srvB, tsB := newTestServer(t, Config{})
+	data := buf.Bytes()
+	corrupt := bytes.Replace(data, []byte(`"period_ms": 60`), []byte(`"period_ms": 61`), 1)
+	if bytes.Equal(corrupt, data) {
+		t.Fatal("tamper target not found in snapshot")
+	}
+	if _, err := srvB.RestoreSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt snapshot restored")
+	}
+	if _, err := srvB.RestoreSnapshot(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncated snapshot restored")
+	}
+	// The refusals left no partial state: alpha is still free to bind.
+	resp2, body := post(t, tsB.URL+"/v1/admit", snapAddBody(1, "alpha", "fresh", 50))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("admit after rejected restores: status %d: %s", resp2.StatusCode, body)
+	}
+}
+
+// TestSnapshotRestoreRefusesDirtyNode: restore is boot-time only — a
+// node that already took decisions cannot be silently replaced.
+func TestSnapshotRestoreRefusesDirtyNode(t *testing.T) {
+	_, tsA := newTestServer(t, Config{})
+	fillNodes(t, tsA.URL)
+	var buf bytes.Buffer
+	resp, err := http.Get(tsA.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+
+	srvB, tsB := newTestServer(t, Config{})
+	if r, body := post(t, tsB.URL+"/v1/admit", snapAddBody(1, "alpha", "early", 50)); r.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restore admit: status %d: %s", r.StatusCode, body)
+	}
+	if _, err := srvB.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore replaced a node with live admission state")
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Chaos helper for the cluster smoke: SIGTERM one shard (it drains and
+# writes its admission snapshot), wait for it to exit, then relaunch it
+# from the command file cluster_smoke.sh wrote and wait for its health
+# endpoint — a warm restart. rtmdm-loadgen invokes it via
+#
+#   -chaos-cmd "CLUSTER_RUN_DIR=<rundir> scripts/restart_shard.sh {shard}"
+#
+# so the kill schedule stays seed-deterministic while the restart
+# mechanics live here.
+set -euo pipefail
+
+shard="${1:?usage: restart_shard.sh SHARD_INDEX}"
+rundir="${CLUSTER_RUN_DIR:?CLUSTER_RUN_DIR must point at the smoke run directory}"
+pidfile="$rundir/shard-$shard.pid"
+cmdfile="$rundir/shard-$shard.cmd"
+portfile="$rundir/shard-$shard.port"
+
+pid="$(cat "$pidfile")"
+kill -TERM "$pid" 2>/dev/null || true
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "restart_shard: shard $shard (pid $pid) did not drain within 10s" >&2
+    exit 1
+fi
+
+# Relaunch: the cmd file backgrounds the server with its output
+# redirected to the shard log and refreshes the pid file, so nothing
+# here holds the chaos runner's pipes open.
+sh "$cmdfile"
+
+port="$(cat "$portfile")"
+for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+        exit 0
+    fi
+    sleep 0.1
+done
+echo "restart_shard: shard $shard did not come back on :$port within 10s" >&2
+exit 1
