@@ -11,13 +11,16 @@
 //	    [-retry-backoff 50ms] [-fail-threshold 3] [-probe-interval 1s]
 //	    [-admit-window 2ms] [-max-inflight 16]
 //	    [-tenants gold=3,free=1] [-tenant-budget 64]
+//	    [-request-budget 45s] [-hedge-delay 0] [-degraded-mode conservative-deny]
 //
 // Endpoints:
 //
-//	GET  /healthz      gateway + per-shard health
+//	GET  /healthz      gateway + per-shard health (liveness)
+//	GET  /readyz       readiness: 503 while a reshard migration is in flight
 //	GET  /v1/metrics   gateway.* / cluster.* metrics snapshot
 //	POST /v1/admit     routed by node to its owning shard
 //	POST /v1/analyze   routed by canonical scenario hash (cache affinity)
+//	POST /v1/reshard   live migration to a new shard list (epoch bump + state handoff)
 //	POST /v1/simulate  routed by canonical scenario hash (cache affinity)
 //
 // See docs/CLUSTER.md for ring semantics, the per-shard determinism
@@ -54,7 +57,11 @@ func main() {
 		maxInflight   = flag.Int("max-inflight", 16, "concurrent forwards per shard")
 		tenants       = flag.String("tenants", "", "tenant weights name=w,... (empty disables quotas)")
 		tenantBudget  = flag.Int("tenant-budget", 64, "global in-flight budget split by tenant weights")
-		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain deadline")
+		requestBudget = flag.Duration("request-budget", 45*time.Second, "end-to-end deadline per proxied request (negative disables)")
+		hedgeDelay    = flag.Duration("hedge-delay", 0, "hedge reads to the next ring owner after this delay (0 disables)")
+		degradedMode  = flag.String("degraded-mode", cluster.DegradedConservativeDeny,
+			"policy for requests caught behind a migration: conservative-deny or fail-fast")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -84,6 +91,9 @@ func main() {
 		MaxInflight:   *maxInflight,
 		TenantWeights: weights,
 		TenantBudget:  *tenantBudget,
+		RequestBudget: *requestBudget,
+		HedgeDelay:    *hedgeDelay,
+		DegradedMode:  *degradedMode,
 		Registry:      reg,
 	})
 	if err != nil {

@@ -171,12 +171,19 @@ func clusterAdmit(c *client, body, tenant string, deadline time.Duration) (res a
 		if derr == nil {
 			status := resp.StatusCode
 			if status == http.StatusOK {
-				err = decodeInto(resp, &res)
-				return res, attempts, lat, err
-			}
-			drainClose(resp)
-			if !clusterRetryable(status) {
-				return res, attempts, lat, fmt.Errorf("status %d", status)
+				if err = decodeInto(resp, &res); err == nil {
+					return res, attempts, lat, nil
+				}
+				// A 200 whose body does not parse is a tampered or
+				// truncated response (the chaos transport guarantees
+				// corruption always breaks JSON framing): retry it like
+				// a transport error — the server committed, so the
+				// duplicate-delivery normalization absorbs the repeat.
+			} else {
+				drainClose(resp)
+				if !clusterRetryable(status) {
+					return res, attempts, lat, fmt.Errorf("status %d", status)
+				}
 			}
 		}
 		if time.Now().After(until) {

@@ -29,9 +29,11 @@
 // instances with a fixed seed-deterministic workload: mixed tenants
 // (-tenants gold=3,free=1 tags requests with X-Rtmdm-Tenant), hot-node
 // probe skew, optional seed-driven shard-kill chaos (-chaos-rate,
-// -chaos-cmd), and a sorted per-shard admission log (-admit-log) that
-// is byte-identical across same-seed runs; see cluster.go and
-// docs/CLUSTER.md.
+// -chaos-cmd), optional deterministic transport-level fault injection
+// (-chaos-http "drop-out=0.03,latency=0.15,latency-ms=25,..." — drops,
+// delays, tampering and partitions derived from -seed), and a sorted
+// per-shard admission log (-admit-log) that is byte-identical across
+// same-seed runs; see cluster.go and docs/CLUSTER.md.
 //
 // -json FILE writes a machine-readable report for any mode ('-' =
 // stdout): totals, per-endpoint stats for the mixed phase, and the
@@ -402,6 +404,7 @@ func main() {
 		chaosRate    = flag.Float64("chaos-rate", 0, "per-tick probability of a seed-driven shard kill")
 		chaosCmd     = flag.String("chaos-cmd", "", "shell command run on each chaos kill; {shard} is substituted")
 		chaosTick    = flag.Duration("chaos-interval", 500*time.Millisecond, "chaos decision tick")
+		chaosHTTP    = flag.String("chaos-http", "", "deterministic transport fault spec, e.g. drop-out=0.03,drop-in=0.03,latency=0.15,latency-ms=25,truncate=0.02,corrupt=0.02,partition=FROM-TO:DIR[:HOST]")
 		jsonOut      = flag.String("json", "", "write a JSON report to FILE ('-' = stdout)")
 	)
 	flag.Parse()
@@ -416,6 +419,21 @@ func main() {
 	}
 
 	c := &client{base: strings.TrimRight(*url, "/"), http: &http.Client{Timeout: *reqTimeout}}
+	if *chaosHTTP != "" {
+		ccfg, cerr := cluster.ParseChaosSpec(*chaosHTTP)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", cerr)
+			os.Exit(2)
+		}
+		ccfg.Seed = *seed
+		transport, cerr := cluster.NewChaosTransport(ccfg, nil)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", cerr)
+			os.Exit(2)
+		}
+		c.http.Transport = transport
+		fmt.Printf("rtmdm-loadgen: chaos transport on (seed %d): %s\n", *seed, *chaosHTTP)
+	}
 	if err := waitHealthy(c, *healthWait); err != nil {
 		fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", err)
 		os.Exit(1)

@@ -10,11 +10,14 @@
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
+//	GET  /readyz       readiness: 503 once shutdown begins (balancers drain first)
 //	GET  /v1/metrics   metrics snapshot (see docs/OBSERVABILITY.md)
 //	GET  /v1/snapshot  sealed admission-state snapshot (see docs/CLUSTER.md)
+//	GET  /v1/export    one node's sealed state for live resharding
 //	POST /v1/analyze   per-policy schedulability verdicts + WCRT bounds
 //	POST /v1/simulate  deterministic simulation summary (+optional trace)
 //	POST /v1/admit     incremental per-node admission control
+//	POST /v1/import    install or release one node's state (reshard handoff)
 //
 // The process drains in-flight work on SIGINT/SIGTERM before exiting;
 // see docs/SERVER.md for the API reference.
@@ -124,6 +127,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Flip readiness off before the listener closes: probes pulling
+	// /readyz see the drain start and stop routing new work here while
+	// in-flight requests finish.
+	srv.SetReady(false)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

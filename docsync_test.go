@@ -133,6 +133,37 @@ func TestClusterDocMatchesGateway(t *testing.T) {
 	}
 }
 
+// TestServerDocMatchesRoutes keeps the "### `METHOD /path`" endpoint
+// sections in docs/SERVER.md and rtmdm-serve's mounted route table
+// (server.Routes) in lockstep, both directions.
+func TestServerDocMatchesRoutes(t *testing.T) {
+	doc, err := os.ReadFile("docs/SERVER.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionRe := regexp.MustCompile("(?m)^### `((?:GET|POST) /[a-z0-9/]+)`$")
+	documented := map[string]bool{}
+	for _, m := range sectionRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	for _, route := range server.Routes() {
+		if !documented[route] {
+			t.Errorf("server route %q has no endpoint section in docs/SERVER.md", route)
+		}
+	}
+	for route := range documented {
+		found := false
+		for _, r := range server.Routes() {
+			if r == route {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("docs/SERVER.md documents route %q, which rtmdm-serve does not mount", route)
+		}
+	}
+}
+
 // TestStaticAnalysisDocMatchesAnalyzers keeps docs/STATIC_ANALYSIS.md and
 // the lint suite in lockstep: every registered analyzer must have a
 // "### `name`" section, and every such section must name a registered

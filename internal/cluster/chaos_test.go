@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	cfg, err := ParseChaosSpec("drop-out=0.1,drop-in=0.2,latency=0.3,latency-ms=40,truncate=0.05,corrupt=0.06,partition=10-20:in,partition=30-40:out:shard-2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.DropOutRate != 0.1 || cfg.DropInRate != 0.2 || cfg.LatencyRate != 0.3 {
+		t.Fatalf("rates wrong: %+v", cfg)
+	}
+	if cfg.Latency != 40*time.Millisecond {
+		t.Fatalf("latency = %v", cfg.Latency)
+	}
+	if len(cfg.Partitions) != 2 {
+		t.Fatalf("partitions = %+v", cfg.Partitions)
+	}
+	if p := cfg.Partitions[1]; p.From != 30 || p.To != 40 || p.Direction != "out" || p.Host != "shard-2" {
+		t.Fatalf("partition[1] = %+v", p)
+	}
+
+	for _, bad := range []string{
+		"drop-out=1.5",
+		"latency-ms=-3",
+		"partition=20-10:in",
+		"partition=1-2:sideways",
+		"nonsense=1",
+		"drop-out",
+	} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+// TestChaosDeterministicSchedule pins the core replay property: two
+// transports built from the same config observe the identical fault
+// schedule for the same per-host request sequence.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer backend.Close()
+
+	cfg := ChaosConfig{Seed: 7, DropOutRate: 0.3, DropInRate: 0.2, TruncateRate: 0.2, CorruptRate: 0.2}
+	run := func() []string {
+		tr, err := NewChaosTransport(cfg, nil)
+		if err != nil {
+			t.Fatalf("transport: %v", err)
+		}
+		client := &http.Client{Transport: tr}
+		var out []string
+		for i := 0; i < 64; i++ {
+			resp, err := client.Get(backend.URL)
+			if err != nil {
+				out = append(out, "err")
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var probe struct{ OK bool }
+			if json.Unmarshal(body, &probe) != nil {
+				out = append(out, "tampered")
+				continue
+			}
+			out = append(out, "ok")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at attempt %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, want := range []string{"err", "tampered", "ok"} {
+		if !seen[want] {
+			t.Fatalf("schedule never produced %q outcomes: %v", want, a)
+		}
+	}
+}
+
+// TestChaosDropDirections distinguishes the two drop classes: drop-out
+// never reaches the server; drop-in reaches it (the work happens) and
+// only the response is lost.
+func TestChaosDropDirections(t *testing.T) {
+	var hits atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, `{}`)
+	}))
+	defer backend.Close()
+
+	tr, err := NewChaosTransport(ChaosConfig{Seed: 1, DropOutRate: 1}, nil)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	if _, err := (&http.Client{Transport: tr}).Get(backend.URL); err == nil {
+		t.Fatal("drop-out: want transport error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("drop-out reached the server %d times", hits.Load())
+	}
+
+	tr, err = NewChaosTransport(ChaosConfig{Seed: 1, DropInRate: 1}, nil)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	if _, err := (&http.Client{Transport: tr}).Get(backend.URL); err == nil {
+		t.Fatal("drop-in: want transport error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("drop-in server hits = %d, want 1 (request must be delivered)", hits.Load())
+	}
+}
+
+// TestChaosTamperingAlwaysDetectable: truncation and corruption must
+// break JSON framing so clients detect and retry rather than acting on
+// altered fields.
+func TestChaosTamperingAlwaysDetectable(t *testing.T) {
+	payload := `{"admitted":true,"committed":["t00","t01"]}`
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer backend.Close()
+
+	for _, cfg := range []ChaosConfig{
+		{Seed: 3, TruncateRate: 1},
+		{Seed: 3, CorruptRate: 1},
+	} {
+		tr, err := NewChaosTransport(cfg, nil)
+		if err != nil {
+			t.Fatalf("transport: %v", err)
+		}
+		resp, err := (&http.Client{Transport: tr}).Get(backend.URL)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var out map[string]any
+		if json.Unmarshal(body, &out) == nil {
+			t.Fatalf("tampered body %q still decodes (cfg %+v)", body, cfg)
+		}
+	}
+}
+
+// TestChaosPartitionAsymmetry: an "out" window cuts requests before the
+// server; an "in" window delivers them and cuts only the response.
+// Outside the window traffic flows clean.
+func TestChaosPartitionAsymmetry(t *testing.T) {
+	var hits atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, `{}`)
+	}))
+	defer backend.Close()
+
+	for _, dir := range []string{"out", "in"} {
+		hits.Store(0)
+		tr, err := NewChaosTransport(ChaosConfig{
+			Seed:       1,
+			Partitions: []ChaosPartition{{From: 2, To: 4, Direction: dir}},
+		}, nil)
+		if err != nil {
+			t.Fatalf("transport: %v", err)
+		}
+		client := &http.Client{Transport: tr}
+		var errs int
+		for i := 0; i < 6; i++ {
+			resp, err := client.Get(backend.URL)
+			if err != nil {
+				if i < 2 || i >= 4 {
+					t.Fatalf("dir %s: attempt %d failed outside the window: %v", dir, i, err)
+				}
+				errs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if errs != 2 {
+			t.Fatalf("dir %s: %d injected failures, want 2", dir, errs)
+		}
+		wantHits := int64(6)
+		if dir == "out" {
+			wantHits = 4
+		}
+		if hits.Load() != wantHits {
+			t.Fatalf("dir %s: server hits = %d, want %d", dir, hits.Load(), wantHits)
+		}
+	}
+}
+
+// TestChaosPartitionHostScoping: a host-scoped partition leaves other
+// hosts untouched.
+func TestChaosPartitionHostScoping(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, `{}`) }))
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, `{}`) }))
+	defer a.Close()
+	defer b.Close()
+
+	hostA := strings.TrimPrefix(a.URL, "http://")
+	tr, err := NewChaosTransport(ChaosConfig{
+		Seed:       1,
+		Partitions: []ChaosPartition{{From: 0, To: 1000, Direction: "out", Host: hostA}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(a.URL); err == nil {
+		t.Fatal("partitioned host: want error")
+	}
+	resp, err := client.Get(b.URL)
+	if err != nil {
+		t.Fatalf("unpartitioned host failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	stats := tr.Stats()
+	if stats["partition-out"] != 1 {
+		t.Fatalf("stats = %v, want one partition-out", stats)
+	}
+}

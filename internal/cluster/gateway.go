@@ -22,8 +22,28 @@ import (
 const TenantHeader = "X-Rtmdm-Tenant"
 
 // ShardHeader reports, on every proxied response, which shard served the
-// request — the observable half of the routing contract.
+// request — the observable half of the routing contract. The value is
+// the shard's index in the serving layout, or -1 when the request rode a
+// post-abort per-node override outside the active ring.
 const ShardHeader = "X-Rtmdm-Shard"
+
+// EpochHeader reports the ring epoch the request was routed under, so
+// clients and smoke scripts can observe migrations without scraping
+// metrics.
+const EpochHeader = "X-Rtmdm-Epoch"
+
+// Degraded-mode policies for requests whose target node is mid-handoff
+// or whose shard is unreachable during a migration window.
+const (
+	// DegradedConservativeDeny parks the request until its node finishes
+	// moving (or the client's deadline fires): no admission is ever
+	// decided against state that is in transit. This is the default — the
+	// admission service's safety story is "never answer from stale state".
+	DegradedConservativeDeny = "conservative-deny"
+	// DegradedFailFast answers 503 immediately so latency-sensitive
+	// callers can fail over themselves.
+	DegradedFailFast = "fail-fast"
+)
 
 // Config sizes the gateway. The zero value plus a shard list is usable:
 // every other field has a production default applied by NewGateway.
@@ -63,11 +83,24 @@ type Config struct {
 	TenantBudget int
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// RequestBudget is the end-to-end deadline per proxied request,
+	// covering lane queueing, migration waits, and every retry attempt
+	// (default 45s; negative disables).
+	RequestBudget time.Duration
+	// HedgeDelay, when positive, issues one hedged attempt for the
+	// read-only routes (/v1/analyze, /v1/simulate) against the next ring
+	// owner if the primary has not answered within the delay — sound
+	// because the engine is deterministic, so any shard computes the
+	// same answer. 0 disables hedging (default).
+	HedgeDelay time.Duration
+	// DegradedMode picks the policy for requests caught behind a
+	// migration: DegradedConservativeDeny (default) or DegradedFailFast.
+	DegradedMode string
 	// Registry receives the gateway.* metric family; nil disables
 	// instrumentation.
 	Registry *metrics.Registry
-	// Transport overrides the shard HTTP transport (tests); nil uses
-	// http.DefaultTransport.
+	// Transport overrides the shard HTTP transport (tests, chaos
+	// injection); nil uses http.DefaultTransport.
 	Transport http.RoundTripper
 }
 
@@ -104,6 +137,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.RequestBudget == 0 {
+		c.RequestBudget = 45 * time.Second
+	}
+	if c.RequestBudget < 0 {
+		c.RequestBudget = 0
+	}
+	if c.DegradedMode == "" {
+		c.DegradedMode = DegradedConservativeDeny
+	}
 	return c
 }
 
@@ -113,26 +155,142 @@ func (c Config) withDefaults() Config {
 func Routes() []string {
 	return []string{
 		"GET /healthz",
+		"GET /readyz",
 		"GET /v1/metrics",
 		"POST /v1/admit",
 		"POST /v1/analyze",
+		"POST /v1/reshard",
 		"POST /v1/simulate",
 	}
 }
 
+// layout is one immutable routing epoch: a ring over an ordered shard
+// list, plus per-node overrides for state stranded off-ring by an
+// aborted migration. The gateway swaps layouts atomically under routeMu;
+// readers never see a half-built one.
+type layout struct {
+	epoch  uint64
+	ring   *Ring
+	urls   []string
+	shards []*shard
+	// overrides pins specific nodes to a shard regardless of the ring —
+	// the residue of an aborted migration whose already-moved nodes live
+	// on their new owner until the next successful reshard.
+	overrides map[string]*shard
+}
+
+// owner resolves a node's serving shard under this layout.
+func (l *layout) owner(node string) *shard {
+	if sh, ok := l.overrides[node]; ok {
+		return sh
+	}
+	return l.shards[l.ring.Shard(node)]
+}
+
+func (l *layout) ownerURL(node string) string { return l.owner(node).base }
+
+// indexOf returns the shard's position in the layout's ring, or -1 for
+// override-only shards.
+func (l *layout) indexOf(sh *shard) int {
+	for i, s := range l.shards {
+		if s == sh {
+			return i
+		}
+	}
+	return -1
+}
+
+// allShards lists the layout's ring shards plus any override-only
+// shards, deduplicated — every shard that may hold authoritative state.
+func (l *layout) allShards() []*shard {
+	out := append([]*shard(nil), l.shards...)
+	seen := map[*shard]bool{}
+	for _, sh := range out {
+		seen[sh] = true
+	}
+	names := make([]string, 0, len(l.overrides))
+	for node := range l.overrides {
+		names = append(names, node)
+	}
+	sort.Strings(names)
+	for _, node := range names {
+		if sh := l.overrides[node]; !seen[sh] {
+			seen[sh] = true
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// withOverrides derives a layout with extra node→shard pins (the abort
+// path). Existing overrides are kept unless re-pinned.
+func (l *layout) withOverrides(epoch uint64, extra map[string]*shard) *layout {
+	nl := &layout{epoch: epoch, ring: l.ring, urls: l.urls, shards: l.shards,
+		overrides: make(map[string]*shard, len(l.overrides)+len(extra))}
+	for node, sh := range l.overrides {
+		nl.overrides[node] = sh
+	}
+	for node, sh := range extra {
+		nl.overrides[node] = sh
+	}
+	return nl
+}
+
+// movingNode tracks one node's handoff; moved closes the instant its
+// state is verified on the new owner, releasing parked requests early
+// instead of holding them for the whole migration window.
+type movingNode struct {
+	moved chan struct{}
+}
+
+// migration is the window during which two layouts are live. Routing
+// keeps serving nodes whose owner is identical under both; nodes whose
+// owner differs are frozen until their handoff completes (or the window
+// ends). done closes exactly once when the window ends, either by
+// committing the to-layout or aborting back to from.
+type migration struct {
+	from, to *layout
+	moving   map[string]*movingNode
+	done     chan struct{}
+	aborted  bool // written once before done closes; read after
+}
+
+// frozen reports whether a node must not be routed during this window:
+// its owner changes between the layouts, so serving it on either side
+// would race its state transfer. A pure function of ring math — new
+// nodes created mid-window are judged correctly without bookkeeping.
+func (m *migration) frozen(node string) bool {
+	return m.from.ownerURL(node) != m.to.ownerURL(node)
+}
+
 // Gateway routes admission-cluster traffic to rtmdm-serve shards: /v1/admit
 // by consistent hash of the node name, /v1/analyze and /v1/simulate by
-// consistent hash of the canonical scenario (cache affinity). Create with
+// consistent hash of the canonical scenario (cache affinity). Layouts are
+// epoch-versioned and live-reshardable via POST /v1/reshard. Create with
 // NewGateway, mount as an http.Handler, call Shutdown before exit.
 type Gateway struct {
 	cfg    Config
 	mux    *http.ServeMux
-	ring   *Ring
 	met    *GatewayMetrics
 	quotas *Quotas
-	shards []*shard
 	base   context.Context
 	cancel context.CancelFunc
+
+	// routeMu orders routing decisions against layout/migration swaps:
+	// requests route (and enqueue) under RLock; Reshard installs and
+	// clears the migration under Lock, so after the barrier no request
+	// can be in flight toward a stale lane unseen by the drain step.
+	routeMu sync.RWMutex
+	cur     *layout
+	mig     *migration
+
+	// reshardMu serializes migrations (one at a time; TryLock → 409).
+	reshardMu sync.Mutex
+
+	// pool reuses shard objects by base URL across layouts so breaker
+	// state, in-flight bounds, and lanes survive resharding.
+	poolMu sync.Mutex
+	pool   map[string]*shard
 
 	// drainMu/idle track live admit-drain and lane goroutines, using the
 	// cond-over-count pattern (a WaitGroup forbids Add racing Wait).
@@ -147,11 +305,12 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, fmt.Errorf("cluster: gateway needs at least one shard URL")
 	}
-	ring, err := NewRing(len(cfg.Shards), cfg.Replicas)
-	if err != nil {
-		return nil, err
+	if cfg.DegradedMode != DegradedConservativeDeny && cfg.DegradedMode != DegradedFailFast {
+		return nil, fmt.Errorf("cluster: unknown degraded mode %q (want %s or %s)",
+			cfg.DegradedMode, DegradedConservativeDeny, DegradedFailFast)
 	}
 	var quotas *Quotas
+	var err error
 	if cfg.TenantWeights != nil {
 		if quotas, err = NewQuotas(cfg.TenantBudget, cfg.TenantWeights); err != nil {
 			return nil, err
@@ -161,35 +320,29 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
-		ring:   ring,
 		met:    RegisterMetrics(cfg.Registry),
 		quotas: quotas,
 		base:   base,
 		cancel: cancel,
+		pool:   map[string]*shard{},
 	}
 	g.idle = sync.NewCond(&g.drainMu)
-	transport := cfg.Transport
-	if transport == nil {
-		transport = http.DefaultTransport
+	lay, err := g.newLayout(1, cfg.Shards)
+	if err != nil {
+		cancel()
+		return nil, err
 	}
-	for i, url := range cfg.Shards {
-		g.shards = append(g.shards, &shard{
-			gw:         g,
-			index:      i,
-			base:       strings.TrimRight(url, "/"),
-			client:     &http.Client{Transport: transport},
-			sem:        make(chan struct{}, cfg.MaxInflight),
-			lanes:      map[string][]*admitCall{},
-			laneActive: map[string]bool{},
-		})
-	}
-	g.met.shardCount.Set(int64(len(g.shards)))
+	g.cur = lay
+	g.met.shardCount.Set(int64(len(lay.shards)))
+	g.met.epoch.Set(int64(lay.epoch))
 
 	handlers := map[string]http.HandlerFunc{
 		"GET /healthz":      g.handleHealthz,
+		"GET /readyz":       g.handleReadyz,
 		"GET /v1/metrics":   g.handleMetrics,
 		"POST /v1/admit":    g.handleAdmit,
 		"POST /v1/analyze":  g.proxyByScenario("/v1/analyze"),
+		"POST /v1/reshard":  g.handleReshard,
 		"POST /v1/simulate": g.proxyByScenario("/v1/simulate"),
 	}
 	for _, pattern := range Routes() {
@@ -197,6 +350,66 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	}
 	return g, nil
 }
+
+// newLayout builds a layout over urls, reusing pooled shard objects.
+func (g *Gateway) newLayout(epoch uint64, urls []string) (*layout, error) {
+	cleaned := make([]string, 0, len(urls))
+	seen := map[string]bool{}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty shard URL in layout")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate shard URL %q in layout", u)
+		}
+		seen[u] = true
+		cleaned = append(cleaned, u)
+	}
+	ring, err := NewRing(len(cleaned), g.cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	lay := &layout{epoch: epoch, ring: ring, urls: cleaned}
+	for _, u := range cleaned {
+		lay.shards = append(lay.shards, g.shardFor(u))
+	}
+	return lay, nil
+}
+
+// shardFor returns the pooled shard for a base URL, creating it on first
+// use. Pooling keeps breaker and lane state stable across layouts.
+func (g *Gateway) shardFor(url string) *shard {
+	g.poolMu.Lock()
+	defer g.poolMu.Unlock()
+	if sh, ok := g.pool[url]; ok {
+		return sh
+	}
+	transport := g.cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	sh := &shard{
+		gw:         g,
+		base:       url,
+		client:     &http.Client{Transport: transport},
+		sem:        make(chan struct{}, g.cfg.MaxInflight),
+		lanes:      map[string][]*admitCall{},
+		laneActive: map[string]bool{},
+	}
+	g.pool[url] = sh
+	return sh
+}
+
+// currentLayout snapshots the serving layout.
+func (g *Gateway) currentLayout() *layout {
+	g.routeMu.RLock()
+	defer g.routeMu.RUnlock()
+	return g.cur
+}
+
+// Epoch reports the serving layout's epoch.
+func (g *Gateway) Epoch() uint64 { return g.currentLayout().epoch }
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
@@ -236,10 +449,11 @@ func (g *Gateway) endActive() {
 	g.drainMu.Unlock()
 }
 
-// handle mounts h under the shared middleware: accounting, latency,
-// panic-to-500, and the per-tenant quota gate on the proxied routes.
+// handle mounts h under the shared middleware: accounting, latency, and
+// panic-to-500. Tenant quotas are acquired inside the proxied handlers
+// (not here) so a slot's lifetime can be tied to the forward that spends
+// shard capacity, not to the client connection — see handleAdmit.
 func (g *Gateway) handle(pattern string, h http.HandlerFunc) {
-	proxied := strings.HasPrefix(pattern, "POST ")
 	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		g.met.requests.Inc()
@@ -252,19 +466,6 @@ func (g *Gateway) handle(pattern string, h http.HandlerFunc) {
 					fmt.Sprintf("gateway panic: %v\n%s", v, debug.Stack()))
 			}
 		}()
-		if proxied && g.quotas != nil {
-			tenant := tenantOf(r)
-			release, ok := g.quotas.Acquire(tenant)
-			if !ok {
-				g.met.quotaRej.Inc()
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests,
-					fmt.Sprintf("tenant %q at its weighted in-flight cap (%d); retry shortly",
-						tenant, g.quotas.Limit(tenant)))
-				return
-			}
-			defer release()
-		}
 		h(w, r)
 	})
 }
@@ -276,6 +477,34 @@ func tenantOf(r *http.Request) string {
 	return "default"
 }
 
+// acquireQuota claims the tenant's slot or writes the 429. The returned
+// release is non-nil iff ok.
+func (g *Gateway) acquireQuota(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if g.quotas == nil {
+		return func() {}, true
+	}
+	tenant := tenantOf(r)
+	release, ok := g.quotas.Acquire(tenant)
+	if !ok {
+		g.met.quotaRej.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q at its weighted in-flight cap (%d); retry shortly",
+				tenant, g.quotas.Limit(tenant)))
+		return nil, false
+	}
+	return release, true
+}
+
+// requestCtx applies the per-request budget on top of the client's own
+// context.
+func (g *Gateway) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if g.cfg.RequestBudget <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), g.cfg.RequestBudget)
+}
+
 // shardHealth is one shard's entry in the /healthz report.
 type shardHealth struct {
 	Index    int    `json:"index"`
@@ -284,23 +513,44 @@ type shardHealth struct {
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	g.routeMu.RLock()
+	lay, mig := g.cur, g.mig
+	g.routeMu.RUnlock()
 	out := struct {
-		Status  string        `json:"status"`
-		Shards  []shardHealth `json:"shards"`
-		Tenants []string      `json:"tenants,omitempty"`
-	}{Status: "ok", Tenants: g.quotas.Tenants()}
+		Status    string        `json:"status"`
+		Epoch     uint64        `json:"epoch"`
+		Migrating bool          `json:"migrating"`
+		Shards    []shardHealth `json:"shards"`
+		Tenants   []string      `json:"tenants,omitempty"`
+	}{Status: "ok", Epoch: lay.epoch, Migrating: mig != nil, Tenants: g.quotas.Tenants()}
 	degraded := 0
-	for _, sh := range g.shards {
+	for i, sh := range lay.shards {
 		d := sh.isDegraded()
 		if d {
 			degraded++
 		}
-		out.Shards = append(out.Shards, shardHealth{Index: sh.index, URL: sh.base, Degraded: d})
+		out.Shards = append(out.Shards, shardHealth{Index: i, URL: sh.base, Degraded: d})
 	}
-	if degraded == len(g.shards) {
+	if degraded == len(lay.shards) {
 		out.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReadyz is the readiness gate, distinct from liveness: not ready
+// while a reshard migration is in flight, so orchestrators pause new
+// topology work (and external balancers drain politely) until routing
+// is single-ring again.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	g.routeMu.RLock()
+	epoch, migrating := g.cur.epoch, g.mig != nil
+	g.routeMu.RUnlock()
+	if migrating {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "reshard migration in flight", "epoch": epoch})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": epoch})
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -313,7 +563,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // admitCall is one admission request traversing a shard's batcher: the
-// raw body, the ordering key, and the rendezvous the handler waits on.
+// raw body, the ordering key, the rendezvous the handler waits on, and
+// the tenant quota slot the forward spends. The slot is released when
+// the forward completes — not when the client hangs up — so a flood of
+// cancelled requests cannot outrun the shard capacity the quota models.
 type admitCall struct {
 	body      []byte
 	requestID uint64
@@ -321,6 +574,84 @@ type admitCall struct {
 	res       *proxyResult
 	err       error
 	done      chan struct{}
+
+	release     func()
+	releaseOnce sync.Once
+}
+
+// settle releases the call's quota slot (idempotent, nil-safe).
+func (cl *admitCall) settle() {
+	cl.releaseOnce.Do(func() {
+		if cl.release != nil {
+			cl.release()
+		}
+	})
+}
+
+// Routing errors placeAdmit can return.
+var (
+	errMigrating    = fmt.Errorf("cluster: node is mid-handoff; retry shortly")
+	errShuttingDown = fmt.Errorf("cluster: gateway shutting down")
+)
+
+// placeAdmit routes cl to its node's owning shard and enqueues it,
+// honoring an in-flight migration: nodes whose owner is unchanged
+// enqueue immediately (non-moving nodes never stall); nodes mid-handoff
+// park until their state lands on the new owner (conservative-deny) or
+// fail fast, per Config.DegradedMode. Enqueueing happens under routeMu's
+// read lock so the migration barrier can never miss an in-flight entry.
+func (g *Gateway) placeAdmit(ctx context.Context, cl *admitCall) (*layout, *shard, error) {
+	for {
+		g.routeMu.RLock()
+		mig := g.mig
+		if mig == nil {
+			lay := g.cur
+			sh := lay.owner(cl.node)
+			sh.enqueue(cl)
+			g.routeMu.RUnlock()
+			return lay, sh, nil
+		}
+		var mn *movingNode
+		if !mig.frozen(cl.node) {
+			lay := mig.from
+			sh := lay.owner(cl.node)
+			sh.enqueue(cl)
+			g.routeMu.RUnlock()
+			return lay, sh, nil
+		}
+		if mn = mig.moving[cl.node]; mn != nil {
+			select {
+			case <-mn.moved:
+				// Handed off and verified: serve on the new owner without
+				// waiting for the rest of the migration.
+				lay := mig.to
+				sh := lay.owner(cl.node)
+				sh.enqueue(cl)
+				g.routeMu.RUnlock()
+				return lay, sh, nil
+			default:
+			}
+		}
+		g.routeMu.RUnlock()
+
+		if g.cfg.DegradedMode == DegradedFailFast {
+			return nil, nil, errMigrating
+		}
+		var movedCh chan struct{} // nil (blocks forever) when the node has no handoff entry
+		if mn != nil {
+			movedCh = mn.moved
+		}
+		select {
+		case <-movedCh:
+		case <-mig.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case <-g.base.Done():
+			return nil, nil, errShuttingDown
+		}
+		// Re-route under the lock: the migration may have advanced,
+		// finished, or aborted.
+	}
 }
 
 // handleAdmit routes an admission to its node's shard through the
@@ -345,26 +676,42 @@ func (g *Gateway) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "node must be set")
 		return
 	}
-	sh := g.shards[g.ring.Shard(key.Node)]
-	cl := &admitCall{body: body, requestID: key.RequestID, node: key.Node, done: make(chan struct{})}
-	sh.enqueue(cl)
+	release, ok := g.acquireQuota(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := g.requestCtx(r)
+	defer cancel()
+	cl := &admitCall{body: body, requestID: key.RequestID, node: key.Node,
+		done: make(chan struct{}), release: release}
+	lay, sh, err := g.placeAdmit(ctx, cl)
+	if err != nil {
+		cl.settle()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	select {
 	case <-cl.done:
-	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, r.Context().Err().Error())
+	case <-ctx.Done():
+		// The client is gone (or the budget fired) but the forward is
+		// already in its lane; the quota slot stays held until the lane
+		// completes it — released there, not here.
+		writeError(w, http.StatusServiceUnavailable, ctx.Err().Error())
 		return
 	case <-g.base.Done():
 		writeError(w, http.StatusServiceUnavailable, "gateway shutting down")
 		return
 	}
-	g.writeProxied(w, sh, cl.res, cl.err)
+	g.writeProxied(w, lay, sh, cl.res, cl.err)
 }
 
 // proxyByScenario returns a handler that forwards path to the shard
 // owning the request's canonical scenario hash, giving every spelling of
 // one deployment a home shard and therefore one result cache to hit.
 // Bodies whose scenario cannot even be parsed still route (by raw-body
-// hash) so the owning shard produces the authoritative 400.
+// hash) so the owning shard produces the authoritative 400. Reads may
+// hedge one attempt to the next ring owner (Config.HedgeDelay).
 func (g *Gateway) proxyByScenario(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
@@ -372,6 +719,11 @@ func (g *Gateway) proxyByScenario(path string) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		release, ok := g.acquireQuota(w, r)
+		if !ok {
+			return
+		}
+		defer release()
 		key := "raw:" + string(body)
 		var req struct {
 			Scenario json.RawMessage `json:"scenario"`
@@ -383,20 +735,100 @@ func (g *Gateway) proxyByScenario(path string) http.HandlerFunc {
 				}
 			}
 		}
-		sh := g.shards[g.ring.Shard(key)]
-		res, err := sh.forward(r.Context(), path, body)
-		g.writeProxied(w, sh, res, err)
+		g.routeMu.RLock()
+		lay := g.cur
+		if g.mig != nil {
+			// Reads are stateless; during a migration they stay on the
+			// from-ring, which every shard keeps serving throughout.
+			lay = g.mig.from
+		}
+		g.routeMu.RUnlock()
+		ctx, cancel := g.requestCtx(r)
+		defer cancel()
+		owners := lay.ring.Owners(key, 2)
+		primary := lay.shards[owners[0]]
+		var alt *shard
+		if len(owners) > 1 {
+			alt = lay.shards[owners[1]]
+		}
+		sh, res, err := g.forwardHedged(ctx, path, body, primary, alt)
+		g.writeProxied(w, lay, sh, res, err)
+	}
+}
+
+// forwardHedged forwards to primary, and — when hedging is enabled and
+// a distinct alt owner exists — issues one hedged attempt if primary is
+// slow (HedgeDelay) or fails outright. First conclusive response wins;
+// determinism makes the two answers interchangeable.
+func (g *Gateway) forwardHedged(ctx context.Context, path string, body []byte, primary, alt *shard) (*shard, *proxyResult, error) {
+	if g.cfg.HedgeDelay <= 0 || alt == nil || alt == primary {
+		res, err := primary.forward(ctx, path, body)
+		return primary, res, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		sh  *shard
+		res *proxyResult
+		err error
+	}
+	ch := make(chan outcome, 2)
+	launch := func(sh *shard) {
+		go func() {
+			res, err := sh.forward(hctx, path, body)
+			ch <- outcome{sh, res, err}
+		}()
+	}
+	launch(primary)
+	timer := time.NewTimer(g.cfg.HedgeDelay)
+	defer timer.Stop()
+	outstanding, hedged := 1, false
+	var firstSh *shard
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			outstanding--
+			if o.err == nil {
+				return o.sh, o.res, nil
+			}
+			if firstErr == nil {
+				firstSh, firstErr = o.sh, o.err
+			}
+			if !hedged {
+				// Primary failed before the hedge timer: fail over now.
+				hedged = true
+				g.met.hedged.Inc()
+				launch(alt)
+				outstanding++
+				continue
+			}
+			if outstanding == 0 {
+				return firstSh, nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				g.met.hedged.Inc()
+				launch(alt)
+				outstanding++
+			}
+		case <-ctx.Done():
+			return primary, nil, ctx.Err()
+		}
 	}
 }
 
 // writeProxied relays a shard's response (or the routing failure) to the
-// client, stamping the serving shard.
-func (g *Gateway) writeProxied(w http.ResponseWriter, sh *shard, res *proxyResult, err error) {
-	w.Header().Set(ShardHeader, fmt.Sprintf("%d", sh.index))
+// client, stamping the serving shard and epoch.
+func (g *Gateway) writeProxied(w http.ResponseWriter, lay *layout, sh *shard, res *proxyResult, err error) {
+	idx := lay.indexOf(sh)
+	w.Header().Set(ShardHeader, fmt.Sprintf("%d", idx))
+	w.Header().Set(EpochHeader, fmt.Sprintf("%d", lay.epoch))
 	if err != nil {
 		g.met.shardErrs.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", sh.index, sh.base, err))
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d (%s): %v", idx, sh.base, err))
 		return
 	}
 	if res.cache != "" {
@@ -421,10 +853,10 @@ var errDegraded = fmt.Errorf("cluster: shard degraded; probe pending")
 
 // shard is one rtmdm-serve instance as seen by the gateway: its base
 // URL, the bounded-fan-out semaphore, the failure breaker, and the
-// admission batcher with per-node FIFO lanes.
+// admission batcher with per-node FIFO lanes. Shards are pooled by URL
+// and survive layout swaps.
 type shard struct {
 	gw     *Gateway
-	index  int
 	base   string
 	client *http.Client
 	sem    chan struct{}
@@ -493,9 +925,10 @@ func (sh *shard) recordAttempt(probe, ok bool) {
 }
 
 // retryableStatus marks shard responses worth another attempt: load
-// shedding (429) and gateway-class failures. 4xx validation errors and
-// 200s pass through; 500 passes through too — it is a shard bug, and
-// retrying a panic is how panics multiply.
+// shedding (429), gateway-class failures, and 503 (a shard draining or a
+// handoff target momentarily busy). 4xx validation errors and 200s pass
+// through; 500 passes through too — it is a shard bug, and retrying a
+// panic is how panics multiply.
 func retryableStatus(code int) bool {
 	switch code {
 	case http.StatusTooManyRequests, http.StatusBadGateway,
@@ -597,6 +1030,52 @@ func (sh *shard) enqueue(cl *admitCall) {
 	sh.amu.Unlock()
 }
 
+// nodeBusy reports whether the shard still holds queued or in-flight
+// admissions for node — the migration drain barrier polls this after
+// freezing, when no new entries for the node can arrive.
+func (sh *shard) nodeBusy(node string) bool {
+	sh.amu.Lock()
+	defer sh.amu.Unlock()
+	if sh.laneActive[node] || len(sh.lanes[node]) > 0 {
+		return true
+	}
+	for _, cl := range sh.pending {
+		if cl.node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// busyNodes lists the nodes with queued or in-flight admissions for
+// which keep returns true.
+func (sh *shard) busyNodes(keep func(string) bool) []string {
+	sh.amu.Lock()
+	defer sh.amu.Unlock()
+	set := map[string]bool{}
+	for node, active := range sh.laneActive {
+		if active && keep(node) {
+			set[node] = true
+		}
+	}
+	for node, q := range sh.lanes {
+		if len(q) > 0 && keep(node) {
+			set[node] = true
+		}
+	}
+	for _, cl := range sh.pending {
+		if keep(cl.node) {
+			set[cl.node] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for node := range set {
+		out = append(out, node)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // drainAdmits gathers one admission window, sorts it by (request_id,
 // node), and feeds the calls into per-node FIFO lanes — so concurrent
 // requests for one node always reach the shard in request_id order, and
@@ -649,7 +1128,10 @@ func (sh *shard) waitWindow() {
 
 // runLane forwards one node's queued admissions sequentially until the
 // lane empties. Sequential-per-node is the determinism contract: the
-// shard sees each node's requests in the batcher's sorted order.
+// shard sees each node's requests in the batcher's sorted order. Each
+// call's quota slot is settled here, when the forward that consumed
+// shard capacity completes — regardless of whether the client is still
+// listening.
 func (sh *shard) runLane(node string) {
 	defer sh.gw.endActive()
 	for {
@@ -668,6 +1150,7 @@ func (sh *shard) runLane(node string) {
 
 		sh.gw.met.forwarded.Inc()
 		cl.res, cl.err = sh.forward(sh.gw.base, "/v1/admit", cl.body)
+		cl.settle()
 		close(cl.done)
 	}
 }

@@ -96,7 +96,7 @@ func TestGatewayRoutesAdmitByNode(t *testing.T) {
 
 	for i := 0; i < 24; i++ {
 		node := fmt.Sprintf("cn-%03d", i)
-		want := gw.ring.Shard(node)
+		want := gw.currentLayout().ring.Shard(node)
 		resp, body := postJSON(t, ts.URL+"/v1/admit", admitJSON(uint64(i+1), node))
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("admit %s: status %d: %s", node, resp.StatusCode, body)
@@ -227,7 +227,7 @@ func TestGatewayBreakerDegradesAndRecovers(t *testing.T) {
 			t.Fatalf("failure %d: status %d, want 503 relayed", i, resp.StatusCode)
 		}
 	}
-	if !gw.shards[0].isDegraded() {
+	if !gw.currentLayout().shards[0].isDegraded() {
 		t.Fatal("shard not degraded after FailThreshold failures")
 	}
 
@@ -263,7 +263,7 @@ func TestGatewayBreakerDegradesAndRecovers(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("probe request: status %d body %s", resp.StatusCode, body)
 	}
-	if gw.shards[0].isDegraded() {
+	if gw.currentLayout().shards[0].isDegraded() {
 		t.Fatal("shard still degraded after a successful probe")
 	}
 }

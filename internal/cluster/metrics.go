@@ -14,6 +14,10 @@ type cInstruments struct {
 	snapshotRestores *metrics.Counter
 	snapshotRejected *metrics.Counter
 	snapshotNodes    *metrics.Counter
+	handoffExports   *metrics.Counter
+	handoffImports   *metrics.Counter
+	handoffReleases  *metrics.Counter
+	handoffConflicts *metrics.Counter
 }
 
 // cinstr is swapped atomically so Instrument may race with snapshot
@@ -34,23 +38,47 @@ func Instrument(r *metrics.Registry) {
 		snapshotRestores: r.Counter("cluster.snapshot_restores", "snapshots", "admission snapshots decoded and fully verified"),
 		snapshotRejected: r.Counter("cluster.snapshot_rejected", "snapshots", "snapshot decodes rejected (corrupt, truncated, version or hash mismatch)"),
 		snapshotNodes:    r.Counter("cluster.snapshot_nodes", "nodes", "node records written across encoded snapshots"),
+		handoffExports:   r.Counter("cluster.handoff_exports", "nodes", "single-node state exports served for live resharding (GET /v1/export)"),
+		handoffImports:   r.Counter("cluster.handoff_imports", "nodes", "single-node state imports accepted during live resharding (POST /v1/import)"),
+		handoffReleases:  r.Counter("cluster.handoff_releases", "nodes", "hash-guarded state releases processed after a verified handoff"),
+		handoffConflicts: r.Counter("cluster.handoff_conflicts", "requests", "handoff imports or releases refused with 409 (hash mismatch or busy decision lane)"),
 	})
 }
+
+// RecordHandoffExport counts one served state export. The Record*
+// helpers let internal/server bump the cluster.* handoff counters
+// without reaching into this package's instrument plumbing; all are
+// nil-safe no-ops when Instrument has not been wired.
+func RecordHandoffExport() { cinstr.Load().handoffExports.Inc() }
+
+// RecordHandoffImport counts one accepted state import.
+func RecordHandoffImport() { cinstr.Load().handoffImports.Inc() }
+
+// RecordHandoffRelease counts one processed state release.
+func RecordHandoffRelease() { cinstr.Load().handoffReleases.Inc() }
+
+// RecordHandoffConflict counts one refused import/release (409).
+func RecordHandoffConflict() { cinstr.Load().handoffConflicts.Inc() }
 
 // GatewayMetrics holds the gateway.* instrument handles. All fields are
 // nil-safe, so a gateway built without a registry pays only nil checks.
 type GatewayMetrics struct {
-	requests   *metrics.Counter
-	inflight   *metrics.Gauge
-	latency    *metrics.Histogram
-	retries    *metrics.Counter
-	shardErrs  *metrics.Counter
-	degraded   *metrics.Gauge
-	trips      *metrics.Counter
-	quotaRej   *metrics.Counter
-	batches    *metrics.Counter
-	forwarded  *metrics.Counter
-	shardCount *metrics.Gauge
+	requests     *metrics.Counter
+	inflight     *metrics.Gauge
+	latency      *metrics.Histogram
+	retries      *metrics.Counter
+	shardErrs    *metrics.Counter
+	degraded     *metrics.Gauge
+	trips        *metrics.Counter
+	quotaRej     *metrics.Counter
+	batches      *metrics.Counter
+	forwarded    *metrics.Counter
+	shardCount   *metrics.Gauge
+	hedged       *metrics.Counter
+	epoch        *metrics.Gauge
+	reshards     *metrics.Counter
+	reshardFails *metrics.Counter
+	reshardMoved *metrics.Counter
 }
 
 // gatewayLatencyBounds buckets proxied request latency from 100µs to 10s.
@@ -78,5 +106,11 @@ func RegisterMetrics(r *metrics.Registry) *GatewayMetrics {
 		batches:    r.Counter("gateway.admit_batches", "batches", "per-shard admission batches drained in (request_id, node) order"),
 		forwarded:  r.Counter("gateway.admit_forwarded", "requests", "admission requests forwarded to shards through the per-node FIFO lanes"),
 		shardCount: r.Gauge("gateway.shards", "shards", "shards in the routing ring"),
+		hedged:     r.Counter("gateway.hedged_requests", "requests", "read requests that issued a second attempt to the next ring owner (hedge timer or failover)"),
+		epoch:      r.Gauge("gateway.reshard_epoch", "epoch", "current ring epoch (bumps once per completed or aborted reshard)"),
+		reshards:   r.Counter("gateway.reshard_total", "migrations", "live reshard migrations started via POST /v1/reshard"),
+		reshardFails: r.Counter("gateway.reshard_failed", "migrations",
+			"reshard migrations aborted after exhausting handoff retries (routing stays on the old ring plus per-node overrides)"),
+		reshardMoved: r.Counter("gateway.reshard_moved_nodes", "nodes", "nodes whose state was exported, imported, verified, and released across shards"),
 	}
 }

@@ -109,6 +109,21 @@ func (q *Quotas) Acquire(tenant string) (release func(), ok bool) {
 	}, true
 }
 
+// InFlight reports the total in-flight slots currently held across all
+// tenants — zero when the gateway is idle, which the leak tests pin.
+func (q *Quotas) InFlight() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for _, n := range q.used {
+		total += n
+	}
+	return total
+}
+
 // Tenants returns the configured tenants sorted by name — the stable
 // order /healthz and the docs use.
 func (q *Quotas) Tenants() []string {

@@ -77,6 +77,10 @@ type node struct {
 	committed []scenario.TaskSpec
 	pending   []*admitCall
 	draining  bool
+	// gone marks a node removed from the admitter's map (handoff release
+	// or placeholder replacement) so a submit racing the removal re-fetches
+	// instead of appending work to an orphan.
+	gone bool
 	// inc is the node's incremental analyzer (lazily created; only used
 	// when the admitter has no injected evalFunc). It evolves with the
 	// committed set: Commit after every accepted change, which keeps warm
@@ -159,15 +163,24 @@ func (a *admitter) node(name string) *node {
 // batch other clients are riding on.
 func (a *admitter) submit(ctx context.Context, req AdmitRequest) (AdmitResponse, error) {
 	cl := &admitCall{req: req, done: make(chan struct{})}
-	n := a.node(req.Node)
-	n.mu.Lock()
-	n.pending = append(n.pending, cl)
-	if !n.draining {
-		n.draining = true
-		a.addDrain()
-		go a.drain(n)
+	for {
+		n := a.node(req.Node)
+		n.mu.Lock()
+		if n.gone {
+			// The node was released (handoff) between the map lookup and
+			// the lock; re-fetch so the request lands on live state.
+			n.mu.Unlock()
+			continue
+		}
+		n.pending = append(n.pending, cl)
+		if !n.draining {
+			n.draining = true
+			a.addDrain()
+			go a.drain(n)
+		}
+		n.mu.Unlock()
+		break
 	}
-	n.mu.Unlock()
 	select {
 	case <-cl.done:
 		return cl.resp, cl.err

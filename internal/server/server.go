@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rtmdm/internal/exec"
@@ -106,6 +107,26 @@ type Server struct {
 	adm    *admitter
 	base   context.Context
 	cancel context.CancelFunc
+	// ready gates GET /readyz: orchestrators route traffic only while it
+	// is true. Liveness (/healthz) stays 200 through the not-ready phases.
+	ready atomic.Bool
+}
+
+// Routes is the server's route table, shared by New and the
+// docs/SERVER.md doc-sync test so the documented endpoint list cannot
+// drift from the mounted one.
+func Routes() []string {
+	return []string{
+		"GET /healthz",
+		"GET /readyz",
+		"GET /v1/export",
+		"GET /v1/metrics",
+		"GET /v1/snapshot",
+		"POST /v1/admit",
+		"POST /v1/analyze",
+		"POST /v1/import",
+		"POST /v1/simulate",
+	}
 }
 
 // New builds a ready-to-serve Server from cfg.
@@ -126,14 +147,30 @@ func New(cfg Config) *Server {
 	// back to the cold path whenever warm state cannot apply.
 	s.adm = newAdmitter(base, cfg.AdmitWindow, nil, s.met)
 
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /v1/metrics", s.handleMetrics)
-	s.handle("GET /v1/snapshot", s.handleSnapshotHTTP)
-	s.handle("POST /v1/analyze", s.handleAnalyze)
-	s.handle("POST /v1/simulate", s.handleSimulate)
-	s.handle("POST /v1/admit", s.handleAdmit)
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":      s.handleHealthz,
+		"GET /readyz":       s.handleReadyz,
+		"GET /v1/export":    s.handleExport,
+		"GET /v1/metrics":   s.handleMetrics,
+		"GET /v1/snapshot":  s.handleSnapshotHTTP,
+		"POST /v1/admit":    s.handleAdmit,
+		"POST /v1/analyze":  s.handleAnalyze,
+		"POST /v1/import":   s.handleImport,
+		"POST /v1/simulate": s.handleSimulate,
+	}
+	for _, pattern := range Routes() {
+		s.handle(pattern, handlers[pattern])
+	}
+	s.ready.Store(true)
 	return s
 }
+
+// SetReady flips the /readyz gate. cmd/rtmdm-serve clears it at the
+// start of graceful shutdown — before the listener closes — so
+// orchestrators and gateways stop sending new work while in-flight
+// requests finish; boot-time restore happens before the listener opens,
+// so a reachable server has always restored its snapshot.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -143,6 +180,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // after http.Server.Shutdown has stopped new requests. Returns ctx.Err()
 // if the drain outlived ctx (work is still aborted via cancellation).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
 	done := make(chan struct{})
 	go func() { s.adm.waitIdle(); close(done) }()
 	select {
@@ -180,6 +218,17 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: 200 only
+// while the server should receive new traffic. A draining server is
+// alive (healthz 200) but not ready (readyz 503).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,11 @@
 #   3. Chaos — a third run with seed-driven shard kills (SIGTERM →
 #      snapshot → warm restart via restart_shard.sh) still produces the
 #      exact same admission log.
+#   4. Live resharding — a run that starts with the gateway ringed over
+#      2 of 4 shards and grows to 3 then 4 via POST /v1/reshard, under a
+#      deterministic lossy transport (-chaos-http), must migrate state
+#      with zero lost or duplicated admissions: its admission log is
+#      byte-identical to the static-4 run's.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +28,7 @@ SEED=7
 
 workdir="$(mktemp -d)"
 cleanup() {
-    for f in "$workdir"/run-*/gateway.pid "$workdir"/run-*/shard-*.pid; do
+    for f in "$workdir"/loadgen.pid "$workdir"/run-*/gateway.pid "$workdir"/run-*/shard-*.pid; do
         [ -f "$f" ] && kill "$(cat "$f")" 2>/dev/null || true
     done
     rm -rf "$workdir"
@@ -47,9 +52,12 @@ wait_health() { # url
 # Each shard runs under GOMAXPROCS=1 so one shard ≈ one core and the
 # scaling comparison measures shards, not scheduler luck. The per-shard
 # cmd file is what restart_shard.sh re-executes on a chaos kill.
+# GW_SHARDS=N (default NSHARDS) rings the gateway over only the first N
+# shards — the reshard phase starts narrow and grows live.
 start_cluster() {
     local rundir="$1" nshards="$2" baseport="$3" gwport="$4"
     shift 4
+    local gwshards="${GW_SHARDS:-$nshards}"
     mkdir -p "$rundir"
     local urls=""
     for i in $(seq 0 $((nshards - 1))); do
@@ -63,7 +71,9 @@ GOMAXPROCS=1 "$workdir/rtmdm-serve" -addr 127.0.0.1:$port -workers 1 \
 echo \$! >"$rundir/shard-$i.pid"
 EOF
         sh "$rundir/shard-$i.cmd"
-        urls="$urls,http://127.0.0.1:$port"
+        if [ "$i" -lt "$gwshards" ]; then
+            urls="$urls,http://127.0.0.1:$port"
+        fi
     done
     urls="${urls#,}"
     for i in $(seq 0 $((nshards - 1))); do
@@ -166,4 +176,69 @@ if ! diff -u "$workdir/log-a" "$workdir/log-c"; then
     exit 1
 fi
 echo "cluster_smoke: chaos run byte-identical to the clean run"
+
+echo "=== cluster smoke: live reshard 2→4 under transport chaos ==="
+# Gateway starts ringed over shards 0-1 while all four serve processes
+# run; the loadgen mirrors the FINAL 4-shard ring (its per-shard log
+# labels must match the post-growth topology). Its transport is the
+# deterministic chaos injector: dropped requests, dropped responses
+# (duplicate deliveries), latency, tampered bodies, and an asymmetric
+# partition window — every fault absorbed by retries and the idempotent
+# admission protocol.
+GW_SHARDS=2 start_cluster "$workdir/run-r" 4 18260 18305 -tenants "$tenants" \
+    -retries 6 -retry-backoff 50ms -probe-interval 500ms
+loadgen 18305 4 -cluster-probes "$probes" -tenants "$tenants" \
+    -admit-log "$workdir/log-r" -json "$workdir/rr.json" \
+    -chaos-http "drop-out=0.03,drop-in=0.03,latency=0.15,latency-ms=25,truncate=0.02,corrupt=0.02,partition=120-160:in" &
+echo $! >"$workdir/loadgen.pid"
+
+reshard() { # JSON array of shard URLs
+    local code
+    for _ in $(seq 1 50); do
+        code="$(curl -s -o "$workdir/reshard.json" -w '%{http_code}' \
+            -X POST -H 'Content-Type: application/json' \
+            -d "{\"shards\": $1}" "http://127.0.0.1:18305/v1/reshard")" || code=000
+        [ "$code" = "200" ] && return 0
+        sleep 0.2
+    done
+    echo "cluster_smoke: reshard to $1 failed (last status $code): $(cat "$workdir/reshard.json")" >&2
+    return 1
+}
+
+sleep 0.4 # let the workload get going before the first growth
+reshard '["http://127.0.0.1:18260","http://127.0.0.1:18261","http://127.0.0.1:18262"]'
+moved3="$(jq '.moved | length' "$workdir/reshard.json")"
+if ! kill -0 "$(cat "$workdir/loadgen.pid")" 2>/dev/null; then
+    echo "cluster_smoke: workload finished before the growth completed — live-reshard assertion vacuous" >&2
+    exit 1
+fi
+reshard '["http://127.0.0.1:18260","http://127.0.0.1:18261","http://127.0.0.1:18262","http://127.0.0.1:18263"]'
+moved4="$(jq '.moved | length' "$workdir/reshard.json")"
+if ! wait "$(cat "$workdir/loadgen.pid")"; then
+    echo "cluster_smoke: loadgen failed during the live reshard" >&2
+    exit 1
+fi
+rm -f "$workdir/loadgen.pid"
+
+echo "cluster_smoke: reshards moved $moved3 + $moved4 node(s) live"
+if [ "$((moved3 + moved4))" -lt 1 ]; then
+    echo "cluster_smoke: no node changed owner across 2→3→4 — assertion vacuous" >&2
+    exit 1
+fi
+epoch="$(curl -sf "http://127.0.0.1:18305/healthz" | jq .epoch)"
+if [ "$epoch" != "3" ]; then
+    echo "cluster_smoke: gateway epoch $epoch after two reshards, want 3" >&2
+    exit 1
+fi
+curl -sf "http://127.0.0.1:18305/readyz" >/dev/null || {
+    echo "cluster_smoke: gateway not ready after the migrations settled" >&2
+    exit 1
+}
+stop_cluster "$workdir/run-r"
+
+if ! diff -u "$workdir/log-a" "$workdir/log-r"; then
+    echo "cluster_smoke: live-reshard run diverged from the static-4 run (lost or duplicated admissions)" >&2
+    exit 1
+fi
+echo "cluster_smoke: live-reshard admission log byte-identical to the static-4 run"
 echo "cluster_smoke: OK"
