@@ -16,14 +16,16 @@ verify:
 vet:
 	$(GO) vet ./...
 
-# Custom analyzers: determinism, millitime, hotpathalloc, metricname.
-# See docs/STATIC_ANALYSIS.md.
+# Custom analyzers: determinism, millitime, hotpathalloc, metricname,
+# ctxflow, lockhold, goroleak. See docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) run ./cmd/rtmdm-lint ./...
 
-# Race tier: vet plus the race detector on the concurrent packages.
+# Race tier: vet plus the race detector on the concurrent packages
+# (internal/lint is included because its cross-package fact store is
+# shared mutable state).
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis ./internal/cluster
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis ./internal/cluster ./internal/lint
 
 # Fuzz smoke: short coverage-guided runs of the scenario parser/builder,
 # the canonical-hash round trip, and the incremental-vs-cold analysis

@@ -1,10 +1,12 @@
 // Package brokentree is the driver test's negative fixture: exactly one
 // violation per analyzer, so `rtmdm-lint <dir>` must exit nonzero and
-// name all four analyzers. It lives under testdata so the go tool never
-// builds it.
+// name all seven analyzers. It lives under testdata so the go tool
+// never builds it.
 package brokentree
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"rtmdm/internal/metrics"
@@ -25,4 +27,28 @@ func Hot(a, b string) string { return a + b }
 // Register uses a metric name missing from docs/OBSERVABILITY.md.
 func Register(r *metrics.Registry) {
 	r.Counter("exec.bogus_undocumented", "x", "undocumented")
+}
+
+// Handle discards the caller's ctx for a fresh root.
+func Handle(ctx context.Context) error {
+	_ = ctx
+	return context.Background().Err()
+}
+
+var mu sync.Mutex
+
+// Forward holds the lock across a blocking sleep.
+func Forward() {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+
+// Spawn leaks a pump goroutine with no termination path.
+func Spawn(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
 }

@@ -26,6 +26,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -34,8 +35,13 @@ type vetConfig struct {
 
 // runVetTool implements the vet driver protocol: read the package
 // config, type-check from the supplied export data, run the suite, emit
-// findings on stderr, and always write the (empty) facts file the go
-// command expects back. Exit 0 clean, 2 on findings — vet's convention.
+// findings on stderr, and write this package's facts to VetxOutput —
+// the facts file the go command caches alongside the export data and
+// hands to downstream packages via PackageVetx. Imports' facts are
+// decoded into the store before the suite runs, so cross-package
+// analyzers (ctxflow, lockhold, goroleak) see upstream facts under vet
+// exactly as they do standalone. Exit 0 clean, 2 on findings — vet's
+// convention.
 func runVetTool(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -47,16 +53,35 @@ func runVetTool(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "rtmdm-lint: parsing vet config:", err)
 		return 1
 	}
-	// The facts file must exist even when no analysis runs, or the go
-	// command reports a tool failure. This suite exchanges no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("rtmdm-lint\n"), 0o666); err != nil {
+	store := lint.NewFactStore(lint.All())
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // a dep analyzed by an older tool build, or no facts
+		}
+		if err := store.DecodePackage(path, data); err != nil {
 			fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+	// The facts file must exist even when no analysis runs, or the go
+	// command reports a tool failure.
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		facts, err := store.EncodePackage(cfg.ImportPath)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, facts, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
+			return 1
+		}
 		return 0
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return writeVetx()
 	}
 
 	if root, err := moduleRootFrom(cfg.Dir); err == nil {
@@ -112,10 +137,13 @@ func runVetTool(cfgPath string) int {
 	}
 	pkg.Types = tpkg
 
-	diags, err := lint.RunAll(analyzersFor(cfg.ImportPath), pkg)
+	diags, err := lint.RunAllWith(lint.All(), pkg, store, keepFor(cfg.ImportPath))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtmdm-lint:", err)
 		return 1
+	}
+	if rc := writeVetx(); rc != 0 {
+		return rc
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

@@ -316,7 +316,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 			return nil, err
 		}
 	}
-	base, cancel := context.WithCancel(context.Background())
+	// Audited lifecycle root: the gateway's base context outlives any one
+	// request; every request handler derives from it and Shutdown cancels it.
+	base, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow -- gateway-lifetime root; cancelled by Shutdown, request ctxs derive from it
 	g := &Gateway{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),

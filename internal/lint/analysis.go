@@ -43,6 +43,11 @@ type Analyzer struct {
 	// pass.Reportf. The returned value is unused by this suite (the
 	// upstream framework threads it to dependent analyzers).
 	Run func(pass *Pass) (any, error)
+	// FactTypes lists the fact types this analyzer exports (pointers to
+	// JSON-serializable structs). Registration makes the fact decodable
+	// from its persisted form; an analyzer with no FactTypes neither
+	// exports nor imports facts.
+	FactTypes []Fact
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -53,6 +58,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactStore
 	diags []Diagnostic
 }
 
@@ -76,18 +82,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // findings with //lint:allow suppressions already applied: suppressed
 // diagnostics are dropped, and malformed directives (a missing
 // "-- reason") surface as diagnostics themselves so a suppression can
-// never be silent. Findings are sorted by position.
+// never be silent. Findings are sorted by position. The analyzer runs
+// against a fresh fact store; use RunAllWith to thread facts across
+// packages.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	return run(a, pkg, true)
+	return run(a, pkg, NewFactStore([]*Analyzer{a}), true)
 }
 
-func run(a *Analyzer, pkg *Package, reportBad bool) ([]Diagnostic, error) {
+func run(a *Analyzer, pkg *Package, store *FactStore, reportBad bool) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		facts:     store,
 	}
 	if _, err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -99,14 +108,33 @@ func run(a *Analyzer, pkg *Package, reportBad bool) ([]Diagnostic, error) {
 
 // RunAll executes every analyzer in as over the package, concatenating
 // sorted per-analyzer findings in analyzer order. Malformed //lint:allow
-// directives are reported once, not once per analyzer.
+// directives are reported once, not once per analyzer. Facts live in a
+// store private to this call; use RunAllWith to share one across
+// packages.
 func RunAll(as []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunAllWith(as, pkg, NewFactStore(as), nil)
+}
+
+// RunAllWith executes every analyzer in as over the package, reading
+// and exporting cross-package facts through store. Every analyzer runs
+// (so its facts are computed for downstream packages), but diagnostics
+// are kept only for analyzers where keep returns true; a nil keep keeps
+// everything. This is how the driver scopes reporting (determinism to
+// sim paths, ctxflow/goroleak to the service tier) without starving
+// downstream packages of upstream facts.
+func RunAllWith(as []*Analyzer, pkg *Package, store *FactStore, keep func(*Analyzer) bool) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for i, a := range as {
-		d, err := run(a, pkg, i == 0)
+	reportedBad := false
+	for _, a := range as {
+		kept := keep == nil || keep(a)
+		d, err := run(a, pkg, store, kept && !reportedBad)
 		if err != nil {
 			return nil, err
 		}
+		if !kept {
+			continue
+		}
+		reportedBad = true
 		out = append(out, d...)
 	}
 	return out, nil
@@ -115,7 +143,7 @@ func RunAll(as []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 // All is the suite in catalogue order. docsync pins this list against
 // docs/STATIC_ANALYSIS.md.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MilliTime, HotPathAlloc, MetricName}
+	return []*Analyzer{Determinism, MilliTime, HotPathAlloc, MetricName, CtxFlow, LockHold, GoroLeak}
 }
 
 // Names returns the analyzer names in catalogue order.

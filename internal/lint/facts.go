@@ -1,0 +1,230 @@
+package lint
+
+// Cross-package facts.
+//
+// An analyzer running on package P can attach serialized facts to P's
+// functions; when a downstream package Q (which imports P) is analyzed
+// later, the same analyzer reads those facts back and reasons about
+// calls into P without re-analyzing it. This mirrors the Fact mechanism
+// of golang.org/x/tools/go/analysis on the standard library alone:
+// facts are JSON documents keyed by (analyzer, package path, object),
+// so they persist alongside the `go list -export` data — the standalone
+// driver threads one FactStore over the module in dependency order, and
+// the vet-tool driver round-trips the store through the .vetx files the
+// go command passes between packages.
+//
+// Facts are exported with Pass.ExportObjectFact and read back with
+// Pass.ImportObjectFact. Every fact type an analyzer exports must be
+// listed in its FactTypes so the decoder knows the concrete type; a
+// fact is marshalled at export time, which both validates
+// serializability at the source and makes every import an honest
+// decode of the persisted form.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Fact is a datum attached to an object (a package-level function or a
+// method) by one analyzer and visible to the same analyzer in
+// downstream packages. Implementations must be pointers to
+// JSON-serializable structs; AFact is a marker.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one stored fact: which analyzer wrote it, which
+// package owns the object, the object's stable key (see objectKey), and
+// the fact's concrete type name.
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string
+	typ      string
+}
+
+// FactStore holds the facts of every package analyzed so far in one
+// lint run. It is shared mutable state across packages (and, in tests,
+// across goroutines), so all access is mutex-guarded.
+type FactStore struct {
+	mu    sync.RWMutex
+	facts map[factKey]json.RawMessage
+	// types maps "analyzer/TypeName" to the concrete fact type for
+	// decoding persisted facts.
+	types map[string]reflect.Type
+}
+
+// NewFactStore builds an empty store whose decoder knows the fact
+// types of every analyzer in as.
+func NewFactStore(as []*Analyzer) *FactStore {
+	s := &FactStore{
+		facts: map[factKey]json.RawMessage{},
+		types: map[string]reflect.Type{},
+	}
+	for _, a := range as {
+		for _, f := range a.FactTypes {
+			s.types[a.Name+"/"+factTypeName(f)] = reflect.TypeOf(f)
+		}
+	}
+	return s
+}
+
+// factTypeName is the unqualified concrete type name of a fact pointer,
+// the stable identity used in the persisted form.
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// objectKey is the stable within-package identity facts are keyed by:
+// the bare name for package-level objects, "Type.Method" for methods
+// (pointer receivers and value receivers collapse to the same key).
+func objectKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// set validates and stores one fact. The error is reserved for
+// non-serializable fact values — an analyzer bug, surfaced loudly.
+func (s *FactStore) set(analyzer string, obj types.Object, f Fact) error {
+	if obj == nil || obj.Pkg() == nil {
+		return fmt.Errorf("lint: fact exported on object without a package")
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("lint: fact %T is not JSON-serializable: %v", f, err)
+	}
+	k := factKey{analyzer: analyzer, pkg: obj.Pkg().Path(), obj: objectKey(obj), typ: factTypeName(f)}
+	s.mu.Lock()
+	s.facts[k] = data
+	s.mu.Unlock()
+	return nil
+}
+
+// get decodes the fact for (analyzer, obj, type-of-f) into f, reporting
+// whether one was stored.
+func (s *FactStore) get(analyzer string, obj types.Object, f Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	k := factKey{analyzer: analyzer, pkg: obj.Pkg().Path(), obj: objectKey(obj), typ: factTypeName(f)}
+	s.mu.RLock()
+	data, ok := s.facts[k]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, f) == nil
+}
+
+// encodedFact is the persisted wire form of one fact.
+type encodedFact struct {
+	Analyzer string          `json:"analyzer"`
+	Object   string          `json:"object"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// EncodePackage serializes every fact attached to pkgPath's objects, in
+// a deterministic order, for persistence alongside the package's export
+// data (the vet-tool driver writes this to the .vetx file).
+func (s *FactStore) EncodePackage(pkgPath string) ([]byte, error) {
+	s.mu.RLock()
+	var out []encodedFact
+	for k, data := range s.facts {
+		if k.pkg != pkgPath {
+			continue
+		}
+		out = append(out, encodedFact{Analyzer: k.analyzer, Object: k.obj, Type: k.typ, Data: data})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Type < out[j].Type
+	})
+	return json.Marshal(out)
+}
+
+// DecodePackage merges previously persisted facts for pkgPath into the
+// store. Facts whose type is not registered (an analyzer this run does
+// not know) are skipped, mirroring the upstream framework's tolerance
+// of stale fact files.
+func (s *FactStore) DecodePackage(pkgPath string, data []byte) error {
+	var in []encodedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("lint: decoding facts for %s: %v", pkgPath, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ef := range in {
+		rt, ok := s.types[ef.Analyzer+"/"+ef.Type]
+		if !ok {
+			continue
+		}
+		// Validate the payload against the registered type before storing.
+		v := reflect.New(rt.Elem()).Interface()
+		if err := json.Unmarshal(ef.Data, v); err != nil {
+			return fmt.Errorf("lint: fact %s/%s on %s.%s: %v", ef.Analyzer, ef.Type, pkgPath, ef.Object, err)
+		}
+		k := factKey{analyzer: ef.Analyzer, pkg: pkgPath, obj: ef.Object, typ: ef.Type}
+		s.facts[k] = ef.Data
+	}
+	return nil
+}
+
+// Len reports the number of stored facts (for tests and audits).
+func (s *FactStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.facts)
+}
+
+// ExportObjectFact attaches fact to obj for this pass's analyzer. The
+// fact becomes visible to the same analyzer in every package analyzed
+// later in the run (and, through the store's encode/decode round trip,
+// in later vet-tool invocations). A non-serializable fact panics: that
+// is an analyzer bug, not a finding.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	if err := p.facts.set(p.Analyzer.Name, obj, fact); err != nil {
+		panic(err)
+	}
+}
+
+// ImportObjectFact decodes the fact of this pass's analyzer attached to
+// obj (typically an object of an imported package) into fact, reporting
+// whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj, fact)
+}

@@ -29,10 +29,22 @@ func TestMetricName(t *testing.T) {
 	linttest.Run(t, lint.MetricName, "metricname")
 }
 
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "ctxflow")
+}
+
+func TestLockHold(t *testing.T) {
+	linttest.Run(t, lint.LockHold, "lockhold")
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, "goroleak")
+}
+
 // TestNamesMatchesAll pins the catalogue-order name list the docs and
 // driver both rely on.
 func TestNamesMatchesAll(t *testing.T) {
-	want := []string{"determinism", "millitime", "hotpathalloc", "metricname"}
+	want := []string{"determinism", "millitime", "hotpathalloc", "metricname", "ctxflow", "lockhold", "goroleak"}
 	got := lint.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -80,8 +80,15 @@ type expectation struct {
 }
 
 // Run loads testdata/src/<fixture> relative to the caller's package
-// directory, runs the analyzer (with suppressions applied), and
-// diffs findings against the fixture's want comments.
+// directory, runs the analyzer (with suppressions applied), and diffs
+// findings against the fixture's want comments.
+//
+// A fixture's immediate subdirectories are dependency packages: they
+// load (sorted) and are analyzed before the root package, all sharing
+// one fact store, so cross-package fact cases — a dep exporting a
+// blocking or ambient-context function, the root calling it — run
+// exactly like the driver's dependency-ordered module walk. Want
+// comments in dependency files are checked too.
 func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 	t.Helper()
 	l := sharedLoader(t)
@@ -89,52 +96,83 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadDir("rtmdm-lint-fixture/"+fixture, dir)
-	if err != nil {
-		t.Fatalf("linttest: loading %s: %v", dir, err)
-	}
-	diags, err := lint.Run(a, pkg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := "rtmdm-lint-fixture/" + fixture
 
-	// Collect expectations from raw source lines.
+	// Dependency subpackages first, then the fixture root.
+	type loadUnit struct {
+		importPath string
+		dir        string
+	}
+	units := []loadUnit{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: reading %s: %v", dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			units = append(units, loadUnit{base + "/" + e.Name(), filepath.Join(dir, e.Name())})
+		}
+	}
+	units = append(units, loadUnit{base, dir})
+
+	store := lint.NewFactStore([]*lint.Analyzer{a})
 	var wants []*expectation
-	for fname, src := range pkg.Src {
-		for i, line := range strings.Split(string(src), "\n") {
-			_, comment, ok := strings.Cut(line, "// want ")
-			if !ok {
-				continue
-			}
-			ms := wantRe.FindAllStringSubmatch(comment, -1)
-			if len(ms) == 0 {
-				t.Errorf("%s:%d: malformed want comment (no quoted regex)", fname, i+1)
-			}
-			for _, m := range ms {
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regex %q: %v", fname, i+1, m[1], err)
+	type located struct {
+		pos  string // "file:line"
+		diag lint.Diagnostic
+		file string
+		line int
+	}
+	var diags []located
+	for _, u := range units {
+		pkg, err := l.LoadDir(u.importPath, u.dir)
+		if err != nil {
+			t.Fatalf("linttest: loading %s: %v", u.dir, err)
+		}
+		ds, err := lint.RunAllWith([]*lint.Analyzer{a}, pkg, store, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			pos := pkg.Fset.Position(d.Pos)
+			diags = append(diags, located{diag: d, file: pos.Filename, line: pos.Line})
+		}
+		// Collect expectations from raw source lines.
+		for fname, src := range pkg.Src {
+			for i, line := range strings.Split(string(src), "\n") {
+				_, comment, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
 				}
-				wants = append(wants, &expectation{file: fname, line: i + 1, re: re})
+				ms := wantRe.FindAllStringSubmatch(comment, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted regex)", fname, i+1)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", fname, i+1, m[1], err)
+					}
+					wants = append(wants, &expectation{file: fname, line: i + 1, re: re})
+				}
 			}
 		}
 	}
 
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {
-			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+			if w.re == nil || w.file != d.file || w.line != d.line {
 				continue
 			}
-			if w.re.MatchString(d.Message) {
+			if w.re.MatchString(d.diag.Message) {
 				w.re = nil // consumed
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", d.file, d.line, d.diag.Analyzer, d.diag.Message)
 		}
 	}
 	for _, w := range wants {

@@ -37,6 +37,7 @@ type listedPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 }
 
@@ -53,6 +54,11 @@ type Loader struct {
 	fset *token.FileSet
 	pkgs map[string]*listedPkg
 	gc   types.ImporterFrom
+	// dirLoaded caches packages loaded via LoadDir so fixture packages
+	// can import each other (`go list` cannot enumerate testdata trees,
+	// and no export data exists for them). Real module packages never
+	// land here, keeping the module's import graph export-data-based.
+	dirLoaded map[string]*types.Package
 }
 
 // NewLoader lists the module's full non-test dependency closure
@@ -62,6 +68,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		ModuleDir: moduleDir,
 		fset:      token.NewFileSet(),
 		pkgs:      map[string]*listedPkg{},
+		dirLoaded: map[string]*types.Package{},
 	}
 	gc, ok := importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
 	if !ok {
@@ -78,7 +85,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 // the loader's package table.
 func (l *Loader) list(patterns ...string) error {
 	args := append([]string{"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.ModuleDir
 	var stderr bytes.Buffer
@@ -122,10 +129,16 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 }
 
 // ImportFrom implements types.ImporterFrom by delegating to the gc
-// export-data importer.
+// export-data importer, falling back to the dir-loaded cache for
+// fixture packages the go tool knows nothing about.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if _, listed := l.pkgs[path]; !listed {
+		if tp, ok := l.dirLoaded[path]; ok {
+			return tp, nil
+		}
 	}
 	return l.gc.ImportFrom(path, dir, mode)
 }
@@ -145,6 +158,44 @@ func (l *Loader) Roots() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// RootsTopo returns the module's own packages in dependency order —
+// every package after all the module packages it imports — so a fact
+// store threaded through the list in order always sees upstream facts
+// before they are needed. Ties break lexically, keeping the order
+// deterministic.
+func (l *Loader) RootsTopo() []string {
+	roots := l.Roots()
+	inModule := map[string]bool{}
+	for _, p := range roots {
+		inModule[p] = true
+	}
+	out := make([]string, 0, len(roots))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p string)
+	visit = func(p string) {
+		if state[p] != 0 {
+			return // done, or a cycle (go list would have rejected it)
+		}
+		state[p] = 1
+		lp := l.pkgs[p]
+		if lp != nil {
+			deps := append([]string(nil), lp.Imports...)
+			sort.Strings(deps)
+			for _, d := range deps {
+				if inModule[d] {
+					visit(d)
+				}
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range roots {
+		visit(p)
+	}
 	return out
 }
 
@@ -185,7 +236,12 @@ func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	return l.load(importPath, dir, files)
+	pkg, err := l.load(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.dirLoaded[importPath] = pkg.Types
+	return pkg, nil
 }
 
 // load parses and type-checks one package from explicit file paths.

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRootsTopo checks the dependency-order walk the driver threads the
+// fact store through: same package set as Roots, every package after
+// all the module packages it imports, and a deterministic order.
+func TestRootsTopo(t *testing.T) {
+	l, err := NewLoader(testModuleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := l.Roots()
+	topo := l.RootsTopo()
+	if len(topo) != len(roots) {
+		t.Fatalf("RootsTopo has %d packages, Roots has %d", len(topo), len(roots))
+	}
+	inModule := map[string]bool{}
+	for _, p := range roots {
+		inModule[p] = true
+	}
+	seen := map[string]bool{}
+	for _, p := range topo {
+		if !inModule[p] {
+			t.Fatalf("RootsTopo includes %q, not a module package", p)
+		}
+		if seen[p] {
+			t.Fatalf("RootsTopo lists %q twice", p)
+		}
+		for _, dep := range l.pkgs[p].Imports {
+			if inModule[dep] && !seen[dep] {
+				t.Errorf("package %s listed before its import %s", p, dep)
+			}
+		}
+		seen[p] = true
+	}
+	// Determinism: a second walk yields the identical order.
+	again := l.RootsTopo()
+	for i := range topo {
+		if topo[i] != again[i] {
+			t.Fatalf("RootsTopo not deterministic at index %d: %s vs %s", i, topo[i], again[i])
+		}
+	}
+	// Spot-check a known edge: the lint package itself imports nothing
+	// in-module, and cmd/rtmdm-lint must come after it.
+	pos := map[string]int{}
+	for i, p := range topo {
+		pos[p] = i
+	}
+	if pos["rtmdm/cmd/rtmdm-lint"] < pos["rtmdm/internal/lint"] {
+		t.Errorf("cmd/rtmdm-lint ordered before internal/lint")
+	}
+}

@@ -59,6 +59,36 @@ func parseAllows(pkg *Package, file *ast.File, bad *[]Diagnostic) []allowDirecti
 	return out
 }
 
+// Suppression is one audited //lint:allow directive: where it is, which
+// analyzer it silences, and the written justification. The driver's
+// -suppressions mode lists these so the repo's boundary crossings stay
+// reviewable as a set.
+type Suppression struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions returns every well-formed //lint:allow directive in the
+// package (positioned at the directive, not the line it covers) plus
+// the malformed ones — directives missing the mandatory "-- reason" —
+// as diagnostics, so an audit can fail on silent suppressions.
+func Suppressions(pkg *Package) (ok []Suppression, malformed []Diagnostic) {
+	for _, f := range pkg.Files {
+		for _, d := range parseAllows(pkg, f, &malformed) {
+			pos := pkg.Fset.Position(d.pos)
+			ok = append(ok, Suppression{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Analyzer: d.analyzer,
+				Reason:   d.reason,
+			})
+		}
+	}
+	return ok, malformed
+}
+
 // startsLine reports whether only whitespace precedes comment c on its
 // source line (a standalone directive rather than a trailing one).
 func startsLine(pkg *Package, c *ast.Comment) bool {

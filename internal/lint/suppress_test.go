@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuppressionsAudit checks the audit API the driver's -suppressions
+// mode is built on: well-formed directives list with their analyzer and
+// reason, and a directive without the mandatory "-- reason" comes back
+// as malformed so the audit can fail on silent suppressions.
+func TestSuppressionsAudit(t *testing.T) {
+	dir := t.TempDir()
+	src := `package supp
+
+import "time"
+
+func a() { _ = time.Now() } //lint:allow determinism -- fixture: audited wall-clock read
+
+//lint:allow millitime
+func b() int64 { return 0 }
+`
+	if err := os.WriteFile(filepath.Join(dir, "supp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(testModuleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("rtmdm-lint-fixture/supp", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, malformed := Suppressions(pkg)
+	if len(ok) != 1 {
+		t.Fatalf("got %d well-formed suppressions, want 1: %+v", len(ok), ok)
+	}
+	s := ok[0]
+	if s.Analyzer != "determinism" || s.Reason != "fixture: audited wall-clock read" || s.Line != 5 {
+		t.Errorf("unexpected suppression record: %+v", s)
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("got %d malformed directives, want 1 (reason is mandatory): %+v", len(malformed), malformed)
+	}
+}

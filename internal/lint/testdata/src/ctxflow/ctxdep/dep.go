@@ -1,0 +1,14 @@
+// Package ctxdep is the dependency half of the ctxflow fixture: a
+// helper that buries an ambient context one package below the caller,
+// so the finding must travel through an exported AmbientCtxFact.
+package ctxdep
+
+import "context"
+
+// FetchState re-roots onto context.Background instead of accepting the
+// caller's ctx; ctxflow exports an AmbientCtxFact for it, and the
+// fixture root asserts the call site is flagged across the boundary.
+func FetchState() error {
+	ctx := context.Background() // want "context.Background creates a fresh root"
+	return ctx.Err()
+}

@@ -1,0 +1,60 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer. The
+// positive cases are seeded from the pre-fix shapes this repo actually
+// had: fresh context.Background roots in constructors (server.New,
+// cluster.NewGateway) and helpers that sleep or build requests without
+// threading the caller's ctx.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"rtmdm-lint-fixture/ctxflow/ctxdep"
+)
+
+// handleAdmit mirrors a request-path handler: it receives a ctx and
+// must keep threading it.
+func handleAdmit(ctx context.Context, url string) error {
+	bg := context.Background() // want "context.Background discards the caller's ctx"
+	_ = bg
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want "use http.NewRequestWithContext"
+	if err != nil {
+		return err
+	}
+	_ = req
+	time.Sleep(5 * time.Millisecond) // want "time.Sleep cannot be cancelled"
+	_ = ctx
+	return ctxdep.FetchState() // want "call to ctxdep.FetchState, which re-roots onto context.Background"
+}
+
+// pollLoop has no ctx to discard; a fresh root is still a finding off
+// the request path unless audited.
+func pollLoop() {
+	ctx := context.TODO() // want "context.TODO creates a fresh root"
+	_ = ctx
+}
+
+// localHop proves the fact works within a package too: pollLoop
+// re-roots, and a ctx-carrying caller is told at the call site.
+func localHop(ctx context.Context) {
+	_ = ctx
+	pollLoop() // want "call to ctxflow.pollLoop, which re-roots onto context.TODO"
+}
+
+// newLifecycleRoot mirrors the audited roots in server.New and
+// cluster.NewGateway: a process-lifetime context with a written reason.
+func newLifecycleRoot() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) //lint:allow ctxflow -- fixture lifecycle root, mirrors server.New
+}
+
+// forward threads the ctx all the way through — the clean shape.
+func forward(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+var _ = []any{handleAdmit, localHop, newLifecycleRoot, forward}

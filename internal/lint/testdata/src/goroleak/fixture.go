@@ -1,0 +1,73 @@
+// Package goroleak is the golden fixture for the goroleak analyzer.
+// The positive cases are seeded from the pre-fix lane-pump shape: a
+// goroutine spawned per shard that loops forever with no ctx/done exit,
+// no WaitGroup, and no ownership annotation.
+package goroleak
+
+import (
+	"context"
+	"sync"
+
+	"rtmdm-lint-fixture/goroleak/gorodep"
+)
+
+// leakyPump spawns an anonymous forever-loop with no way out.
+func leakyPump(ch chan int) {
+	go func() {
+		for { // want "unbounded loop with no termination path"
+			ch <- 1
+		}
+	}()
+}
+
+// leakyNamed spawns the dependency's worker; the NonTerminatingFact
+// crosses the package boundary to flag the spawn site.
+func leakyNamed(ch chan int) {
+	go gorodep.PumpForever(ch) // want "go gorodep.PumpForever: it loops forever"
+}
+
+// ctxAware exits through ctx.Done — clean.
+func ctxAware(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// reaped is owned by a WaitGroup — clean.
+func reaped(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// owned carries an audited ownership annotation — clean.
+func owned(ch chan int) {
+	go gorodep.PumpForever(ch) //rtmdm:owned-by fixture.Shutdown
+}
+
+// suppressed exercises the //lint:allow path.
+func suppressed(ch chan int) {
+	go gorodep.PumpForever(ch) //lint:allow goroleak -- fixture exercises the suppression path
+}
+
+// badDirective claims ownership without naming an owner.
+func badDirective(ch chan int) {
+	//rtmdm:owned-by // want "malformed //rtmdm:owned-by directive"
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+var _ = []any{leakyPump, leakyNamed, ctxAware, reaped, owned, suppressed, badDirective}

@@ -1,0 +1,12 @@
+// Package gorodep is the dependency half of the goroleak fixture: a
+// worker that loops forever with no termination path, whose
+// NonTerminatingFact must reach spawn sites in the fixture root.
+package gorodep
+
+// PumpForever loops with no exit — no return, no break, no
+// cancellation receive. goroleak exports a NonTerminatingFact for it.
+func PumpForever(ch chan int) {
+	for {
+		ch <- 1
+	}
+}

@@ -1,0 +1,113 @@
+// Package lockhold is the golden fixture for the lockhold analyzer.
+// The positive cases are seeded from the pre-fix shard-forwarding
+// shape: registry state locked while a peer HTTP call or a batch wait
+// is in flight, and early returns that skip the Unlock.
+package lockhold
+
+import (
+	"net/http"
+	"sync"
+
+	"rtmdm-lint-fixture/lockhold/lockdep"
+)
+
+type registry struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// holdAcrossHTTP mirrors the pre-fix forward path: shard state locked
+// while the peer call is in flight.
+func (r *registry) holdAcrossHTTP(url string) error {
+	r.mu.Lock()
+	r.n++
+	_, err := http.Get(url) // want "r.mu is held across http.Get"
+	r.mu.Unlock()
+	return err
+}
+
+// holdAcrossFact crosses the package boundary through the BlocksFact.
+func (r *registry) holdAcrossFact(wg *sync.WaitGroup) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lockdep.WaitBatch(wg) // want "r.mu is held across lockdep.WaitBatch"
+}
+
+// holdAcrossChain sees through one extra hop (Fanout calls Recv).
+func (r *registry) holdAcrossChain(ch chan int) int {
+	r.mu.Lock()
+	v := lockdep.Fanout(ch) // want "r.mu is held across lockdep.Fanout"
+	r.mu.Unlock()
+	return v
+}
+
+// earlyReturn leaves the lock held on the ok path.
+func (r *registry) earlyReturn(ok bool) int {
+	r.mu.Lock()
+	if ok {
+		return r.n // want "return while r.mu is still Locked"
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// missingUnlock never releases at all.
+func (r *registry) missingUnlock() {
+	r.mu.Lock() // want "no matching Unlock in this function"
+	r.n++
+}
+
+// readSide pairs RLock with RUnlock independently of the write side.
+func (r *registry) readSide(ch chan int) int {
+	r.rw.RLock()
+	v := <-ch // want "r.rw is held across a channel receive"
+	r.rw.RUnlock()
+	return v
+}
+
+// audited exercises the suppression path.
+func (r *registry) audited(url string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := http.Get(url) //lint:allow lockhold -- fixture exercises the suppression path
+	return err
+}
+
+// lockUnlockRelock is clean: the blocking call sits between two
+// distinct lock regions, and the nearest-Unlock pairing must not let
+// the trailing deferred Unlock swallow the first region.
+func (r *registry) lockUnlockRelock(url string) error {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	_, err := http.Get(url)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n--
+	return err
+}
+
+// drainer mirrors the gateway's cond-over-count drain: sync.Cond.Wait
+// with the lock held is the protocol, not a finding.
+type drainer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (d *drainer) drain() {
+	d.mu.Lock()
+	for d.n > 0 {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+var _ = []any{
+	(*registry).holdAcrossHTTP, (*registry).holdAcrossFact,
+	(*registry).holdAcrossChain, (*registry).earlyReturn,
+	(*registry).missingUnlock, (*registry).readSide,
+	(*registry).audited, (*registry).lockUnlockRelock,
+	(*drainer).drain,
+}

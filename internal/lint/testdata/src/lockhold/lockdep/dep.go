@@ -1,0 +1,22 @@
+// Package lockdep is the dependency half of the lockhold fixture:
+// blocking helpers whose BlocksFact must reach callers in the fixture
+// root across the package boundary — including through one extra hop of
+// the call graph (Fanout -> Recv).
+package lockdep
+
+import "sync"
+
+// WaitBatch blocks on a WaitGroup (a std-table blocker).
+func WaitBatch(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// Recv blocks on a bare channel receive.
+func Recv(ch chan int) int {
+	return <-ch
+}
+
+// Fanout blocks only transitively: the fact propagates from Recv.
+func Fanout(ch chan int) int {
+	return Recv(ch)
+}

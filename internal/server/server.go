@@ -132,7 +132,9 @@ func Routes() []string {
 // New builds a ready-to-serve Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	base, cancel := context.WithCancel(context.Background())
+	// Audited lifecycle root: the server's base context outlives any one
+	// request; Shutdown cancels it to release in-flight waiters.
+	base, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow -- server-lifetime root; cancelled by Shutdown, not tied to any request
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),

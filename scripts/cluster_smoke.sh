@@ -29,7 +29,9 @@ SEED=7
 workdir="$(mktemp -d)"
 cleanup() {
     for f in "$workdir"/loadgen.pid "$workdir"/run-*/gateway.pid "$workdir"/run-*/shard-*.pid; do
-        [ -f "$f" ] && kill "$(cat "$f")" 2>/dev/null || true
+        if [ -f "$f" ]; then
+            kill "$(cat "$f")" 2>/dev/null || true
+        fi
     done
     rm -rf "$workdir"
 }
@@ -88,7 +90,9 @@ EOF
 stop_cluster() { # RUNDIR
     local rundir="$1"
     for f in "$rundir"/gateway.pid "$rundir"/shard-*.pid; do
-        [ -f "$f" ] && kill -TERM "$(cat "$f")" 2>/dev/null || true
+        if [ -f "$f" ]; then
+            kill -TERM "$(cat "$f")" 2>/dev/null || true
+        fi
     done
     for f in "$rundir"/gateway.pid "$rundir"/shard-*.pid; do
         [ -f "$f" ] || continue

@@ -16,6 +16,10 @@ pidfile="$rundir/shard-$shard.pid"
 cmdfile="$rundir/shard-$shard.cmd"
 portfile="$rundir/shard-$shard.port"
 
+if [ ! -f "$pidfile" ]; then
+    echo "restart_shard: no pid file at $pidfile (is the smoke run still up?)" >&2
+    exit 1
+fi
 pid="$(cat "$pidfile")"
 kill -TERM "$pid" 2>/dev/null || true
 for _ in $(seq 1 100); do
