@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: verify vet lint race fuzz bench golden smoke cluster-smoke
+.PHONY: verify vet lint race fuzz bench golden smoke cluster-smoke corpus-smoke
 
 # Tier-1: build + full test suite.
 verify:
@@ -23,9 +23,10 @@ lint:
 
 # Race tier: vet plus the race detector on the concurrent packages
 # (internal/lint is included because its cross-package fact store is
-# shared mutable state).
+# shared mutable state; internal/corpus because its runner merges worker
+# outcomes under a shared checkpoint mutex).
 race: vet
-	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis ./internal/cluster ./internal/lint
+	$(GO) test -race ./internal/expr ./internal/dse ./internal/workload ./internal/fault ./internal/exec ./internal/server ./internal/analysis ./internal/cluster ./internal/lint ./internal/corpus
 
 # Fuzz smoke: short coverage-guided runs of the scenario parser/builder,
 # the canonical-hash round trip, and the incremental-vs-cold analysis
@@ -56,3 +57,10 @@ smoke:
 # machines with fewer than ~5 cores. See docs/CLUSTER.md.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Corpus smoke: sweep the pinned 1000-scenario smoke spec with the
+# differential soundness oracle — zero violations, byte-identical
+# manifest at 1 vs N workers, and the -inject-bug liveness self-check.
+# See docs/CORPUS.md.
+corpus-smoke:
+	./scripts/corpus_smoke.sh

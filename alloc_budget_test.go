@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rtmdm/internal/analysis"
+	"rtmdm/internal/corpus"
 	"rtmdm/internal/scenario"
 )
 
@@ -41,6 +42,40 @@ func TestSimulateAllocBudget(t *testing.T) {
 	const budget = 16500
 	if allocs > budget {
 		t.Fatalf("Simulate steady state: %.0f allocs/op, budget %d", allocs, budget)
+	}
+}
+
+// TestCorpusCheckAllocBudget pins the steady-state allocation count of
+// the differential oracle across a warm 8-instance slice of the smoke
+// corpus, so per-check regeneration of models or segmentation plans (the
+// caches internal/workload memoizes) cannot silently regress the sweep's
+// throughput. Individual checks range ≈1.7k–10.3k allocs/op depending on
+// the drawn scenario (simulation length dominates), so the budget covers
+// the whole slice with ~20% slack over the measured ≈54.6k.
+func TestCorpusCheckAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is wall-time sensitive; skipped in -short")
+	}
+	spec := corpus.SmokeSpec()
+	spec.Count = 8
+	gen, err := corpus.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := corpus.NewOracle(gen)
+	ctx := context.Background()
+	sweep := func() {
+		for i := 0; i < gen.Count(); i++ {
+			if out := o.Check(ctx, i); out.Class == corpus.ClassViolation {
+				t.Fatalf("index %d: %v", i, out.Violations)
+			}
+		}
+	}
+	sweep() // warm the model/segmentation/spec caches
+	allocs := testing.AllocsPerRun(5, sweep)
+	const budget = 66000
+	if allocs > budget {
+		t.Fatalf("corpus check steady state: %.0f allocs per 8-check sweep, budget %d", allocs, budget)
 	}
 }
 

@@ -1,0 +1,250 @@
+// Command rtmdm-corpus expands a seeded scenario corpus spec and sweeps
+// the differential soundness oracle over it: every generated scenario
+// runs both the schedulability analysis and the simulator, asserting
+// analysis-schedulable ⇒ zero simulated deadline misses plus
+// incremental-vs-cold analyzer verdict parity. See docs/CORPUS.md.
+//
+// Usage:
+//
+//	rtmdm-corpus [-spec spec.json | -preset smoke|default]
+//	             [-count N] [-seed S] [-workers N]
+//	             [-json report.json] [-manifest out.txt]
+//	             [-checkpoint ckpt.json] [-checkpoint-every N]
+//	             [-shrink] [-repro-dir dir]
+//	             [-inject-bug] [-metrics] [-v]
+//
+// Exit status: 0 when the sweep completes with zero violations, 1 on
+// violations or operational errors. With -inject-bug the meaning
+// inverts: the run deliberately corrupts the analysis verdict and exits
+// 0 only if the oracle caught it — a self-check that the harness can
+// actually fail.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/corpus"
+	"rtmdm/internal/exec"
+	"rtmdm/internal/metrics"
+	"rtmdm/internal/workload"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "corpus spec JSON file (default: -preset)")
+		preset     = flag.String("preset", "smoke", "built-in spec when -spec is absent: smoke or default")
+		count      = flag.Int("count", 0, "override the spec's scenario count")
+		seed       = flag.Int64("seed", 0, "override the spec's seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		jsonOut    = flag.String("json", "", "write the JSON report to this file (- for stdout)")
+		manifest   = flag.String("manifest", "", "write the deterministic corpus manifest to this file")
+		ckpt       = flag.String("checkpoint", "", "resumable checkpoint file (resumes automatically if present)")
+		ckptEvery  = flag.Int("checkpoint-every", 256, "completions between checkpoint writes")
+		shrink     = flag.Bool("shrink", false, "minimize each violating scenario and write repros")
+		reproDir   = flag.String("repro-dir", "testdata/corpus-repros", "directory for shrinker repro files")
+		injectBug  = flag.Bool("inject-bug", false, "self-check: corrupt the analysis verdict and require the oracle to fire")
+		showMetric = flag.Bool("metrics", false, "dump the corpus metrics snapshot as JSON")
+		verbose    = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	spec, err := loadSpec(*specPath, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *count > 0 {
+		spec.Count = *count
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	gen, err := corpus.NewGenerator(spec)
+	if err != nil {
+		fatal(err)
+	}
+	oracle := corpus.NewOracle(gen)
+	oracle.InjectVerdictBug = *injectBug
+
+	var reg *metrics.Registry
+	if *showMetric {
+		reg = metrics.NewRegistry()
+		corpus.Instrument(reg)
+		analysis.Instrument(reg)
+		exec.Instrument(reg)
+		workload.Instrument(reg)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := &corpus.Runner{
+		Oracle:          oracle,
+		Workers:         *workers,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *verbose {
+		var last atomic.Int64
+		runner.Progress = func(done, total int) {
+			// Throttle to ~1 line per 2% without a timer.
+			step := total / 50
+			if step < 1 {
+				step = 1
+			}
+			if done%step == 0 || done == total {
+				if last.Swap(int64(done)) != int64(done) {
+					fmt.Fprintf(os.Stderr, "rtmdm-corpus: %d/%d\n", done, total)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, outcomes, runErr := runner.Run(ctx)
+	if rep != nil {
+		rep.ElapsedNs = time.Since(start).Nanoseconds()
+		if secs := float64(rep.ElapsedNs) / 1e9; secs > 0 {
+			rep.ScenariosPerSec = float64(rep.Checked-rep.Resumed) / secs
+		}
+	}
+	if runErr != nil && rep == nil {
+		fatal(runErr)
+	}
+
+	if *shrink && len(rep.Violations) > 0 {
+		shrinkViolations(ctx, oracle, gen, rep, *reproDir, *verbose)
+	}
+
+	if *manifest != "" {
+		if err := os.WriteFile(*manifest, []byte(corpus.Manifest(gen, outcomes)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fatal(err)
+		}
+	}
+	printSummary(rep)
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	violations := rep.Classes[corpus.ClassViolation]
+	if *injectBug {
+		// Self-check: the corrupted verdict must have tripped the oracle.
+		if violations == 0 {
+			fatal(fmt.Errorf("self-check failed: injected verdict bug produced no violations — the oracle is not live"))
+		}
+		fmt.Printf("self-check ok: injected bug tripped %d violations\n", violations)
+		return
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func loadSpec(path, preset string) (*corpus.Spec, error) {
+	if path != "" {
+		return corpus.LoadSpec(path)
+	}
+	switch preset {
+	case "smoke":
+		return corpus.SmokeSpec(), nil
+	case "default":
+		return corpus.DefaultSpec(), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want smoke or default)", preset)
+	}
+}
+
+// shrinkViolations minimizes each violating scenario and writes repro
+// files; the minimized scenarios are attached to the report in place of
+// nothing (the original outcomes are untouched — the manifest must not
+// depend on whether -shrink ran).
+func shrinkViolations(ctx context.Context, oracle *corpus.Oracle, gen *corpus.Generator, rep *corpus.Report, dir string, verbose bool) {
+	for _, v := range rep.Violations {
+		if ctx.Err() != nil {
+			return
+		}
+		item, err := oracle.Generated(v.Index)
+		if err != nil {
+			continue
+		}
+		min, vs, steps := corpus.Shrink(ctx, oracle, item.Scenario)
+		if len(vs) == 0 {
+			continue
+		}
+		path, err := corpus.WriteRepro(dir, &corpus.Repro{
+			ID:         v.ID,
+			SpecDigest: gen.Digest(),
+			Index:      v.Index,
+			Violations: vs,
+			Scenario:   min,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtmdm-corpus: repro: %v\n", err)
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "rtmdm-corpus: shrunk #%d to %d tasks in %d steps → %s\n",
+				v.Index, len(min.Tasks), steps, path)
+		}
+	}
+}
+
+func writeReport(path string, rep *corpus.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func printSummary(rep *corpus.Report) {
+	fmt.Printf("corpus: %d scenarios (spec %.12s…), %d checked", rep.Count, rep.SpecDigest, rep.Checked)
+	if rep.Resumed > 0 {
+		fmt.Printf(" (%d resumed)", rep.Resumed)
+	}
+	fmt.Println()
+	for _, class := range []string{corpus.ClassOK, corpus.ClassUnsupported, corpus.ClassGenerateError, corpus.ClassViolation, corpus.ClassCanceled} {
+		if n := rep.Classes[class]; n > 0 {
+			fmt.Printf("  %-20s %d\n", class, n)
+		}
+	}
+	fmt.Printf("  warm parity          %d\n", rep.WarmParity)
+	if rep.ScenariosPerSec > 0 {
+		fmt.Printf("  throughput           %.1f scenarios/s\n", rep.ScenariosPerSec)
+	}
+	fmt.Printf("  manifest digest      %s\n", rep.ManifestDigest)
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION #%d %s: %v\n", v.Index, v.ID, v.Violations)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmdm-corpus:", err)
+	os.Exit(1)
+}

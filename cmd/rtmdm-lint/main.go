@@ -61,7 +61,7 @@ import (
 var simPathSuffixes = []string{
 	"internal/sim", "internal/exec", "internal/core", "internal/trace",
 	"internal/expr", "internal/workload", "internal/fault",
-	"internal/scenario", "internal/dse",
+	"internal/scenario", "internal/dse", "internal/corpus",
 }
 
 // ctxPathSuffixes are the service-tier packages whose request paths
@@ -523,7 +523,7 @@ func moduleRoot() (string, error) {
 
 // metricNameRe mirrors docsync_test.go: backticked dotted identifiers in
 // the instrumented-package namespaces.
-var metricNameRe = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster)\\.[a-z0-9_]+)`")
+var metricNameRe = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster|corpus)\\.[a-z0-9_]+)`")
 
 // loadCatalog parses the metric catalogue out of docs/OBSERVABILITY.md.
 func loadCatalog(root string) (map[string]bool, error) {

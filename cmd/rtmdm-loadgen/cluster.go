@@ -104,6 +104,9 @@ type clusterOp struct {
 	kind   string // "add" | "remove"
 	task   string
 	period float64
+	// model overrides the default fill model ("" = tinymlp); set when
+	// -corpus draws the fill tasks from generated scenarios.
+	model string
 }
 
 // nodeSchedule derives node idx's full operation list from the seed:
@@ -121,7 +124,21 @@ func nodeSchedule(cfg clusterCfg, idx int, node string) []clusterOp {
 		seq++
 	}
 	for f := 0; f < cfg.fill; f++ {
-		push("add", fmt.Sprintf("t%02d", f), float64(40+5*(cfg.fill-1-f)))
+		name := fmt.Sprintf("t%02d", f)
+		period := float64(40 + 5*(cfg.fill-1-f))
+		// With -corpus the fill tasks come from generated scenarios:
+		// model and period drawn per (seed, node, slot), so same-seed
+		// admit logs stay byte-identical while the committed sets
+		// reflect real corpus mixes (rejections are legitimate outcomes
+		// here, unlike the always-admissible default ladder).
+		if corpusSrc != nil {
+			if t, ok := corpusSrc.admitTask(idx*257+f, name); ok {
+				ops = append(ops, clusterOp{seq: seq, kind: "add", task: name, period: t.PeriodMs, model: t.Model})
+				seq++
+				continue
+			}
+		}
+		push("add", name, period)
 	}
 	cycles := cfg.probes
 	if float64(idx) < cfg.hotNodes*float64(cfg.nodes) {
@@ -315,7 +332,12 @@ func runCluster(c *client, cfg clusterCfg, rep *report) error {
 func runClusterOp(c *client, node, tenant string, shard int, op clusterOp, admitted map[string]bool) (clusterSample, error) {
 	var body string
 	if op.kind == "add" {
-		body = churnAddBody(uint64(op.seq+1), node, op.task, op.period)
+		if op.model != "" {
+			body = fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {"name": %q, "model": %q, "period_ms": %g}}`,
+				op.seq+1, node, op.task, op.model, op.period)
+		} else {
+			body = churnAddBody(uint64(op.seq+1), node, op.task, op.period)
+		}
 	} else {
 		body = churnRemoveBody(uint64(op.seq+1), node, op.task)
 	}

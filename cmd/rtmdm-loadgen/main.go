@@ -35,6 +35,13 @@
 // per-shard admission log (-admit-log) that is byte-identical across
 // same-seed runs; see cluster.go and docs/CLUSTER.md.
 //
+// -corpus SPEC ('smoke', 'default', or a spec file) draws the mixed
+// phase's scenarios and the cluster fill's admission tasks from the
+// generated scenario corpus (internal/corpus) instead of the
+// hand-authored builders; selection is deterministic per (-seed, spec),
+// so same-seed runs stay byte-identical. -corpus-count overrides the
+// spec's scenario count. See docs/CORPUS.md.
+//
 // -json FILE writes a machine-readable report for any mode ('-' =
 // stdout): totals, per-endpoint stats for the mixed phase, and the
 // per-shard / per-tenant breakdown for cluster runs; the schema is
@@ -202,8 +209,15 @@ func (c *client) postAdmit(body string) (res admitResult, status int, latency ti
 }
 
 // scenarioJSON builds a small two-task scenario whose identity varies
-// with variant, so distinct variants are distinct cache keys.
+// with variant, so distinct variants are distinct cache keys. With
+// -corpus, the scenario is drawn from the generated corpus instead
+// (seed-deterministic per variant; see corpus.go).
 func scenarioJSON(variant int) string {
+	if corpusSrc != nil {
+		if body, ok := corpusSrc.scenarioJSON(variant); ok {
+			return body
+		}
+	}
 	period := 40 + 2*(variant%20)
 	return fmt.Sprintf(`{"horizon_ms": 200, "tasks": [
 		{"name": "kws", "model": "ds-cnn", "period_ms": %d},
@@ -220,6 +234,11 @@ func simulateBody(variant int) string {
 }
 
 func admitBody(id uint64, node string, taskIdx int) string {
+	if corpusSrc != nil {
+		if body, ok := corpusSrc.admitTaskJSON(id, node, taskIdx, fmt.Sprintf("t%d", taskIdx)); ok {
+			return body
+		}
+	}
 	return fmt.Sprintf(`{"request_id": %d, "node": %q, "task": {
 		"name": "t%d", "model": "lenet5", "period_ms": %d
 	}}`, id, node, taskIdx, 80+5*(taskIdx%10))
@@ -405,6 +424,8 @@ func main() {
 		chaosCmd     = flag.String("chaos-cmd", "", "shell command run on each chaos kill; {shard} is substituted")
 		chaosTick    = flag.Duration("chaos-interval", 500*time.Millisecond, "chaos decision tick")
 		chaosHTTP    = flag.String("chaos-http", "", "deterministic transport fault spec, e.g. drop-out=0.03,drop-in=0.03,latency=0.15,latency-ms=25,truncate=0.02,corrupt=0.02,partition=FROM-TO:DIR[:HOST]")
+		corpusSpec   = flag.String("corpus", "", "draw scenarios/tasks from a generated corpus: 'smoke', 'default', or a spec file (seed-deterministic; see docs/CORPUS.md)")
+		corpusCount  = flag.Int("corpus-count", 0, "override the corpus spec's scenario count")
 		jsonOut      = flag.String("json", "", "write a JSON report to FILE ('-' = stdout)")
 	)
 	flag.Parse()
@@ -416,6 +437,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", err)
 		os.Exit(2)
+	}
+
+	if *corpusSpec != "" {
+		src, cerr := newCorpusSource(*corpusSpec, *corpusCount, *seed)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "rtmdm-loadgen:", cerr)
+			os.Exit(2)
+		}
+		corpusSrc = src
+		fmt.Printf("rtmdm-loadgen: corpus traffic on (spec %.12s…, %d scenarios, seed %d)\n",
+			src.gen.Digest(), src.gen.Count(), *seed)
 	}
 
 	c := &client{base: strings.TrimRight(*url, "/"), http: &http.Client{Timeout: *reqTimeout}}

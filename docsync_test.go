@@ -2,12 +2,14 @@ package rtmdm
 
 import (
 	"os"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
 
 	"rtmdm/internal/analysis"
 	"rtmdm/internal/cluster"
+	"rtmdm/internal/corpus"
 	"rtmdm/internal/dse"
 	"rtmdm/internal/exec"
 	"rtmdm/internal/expr"
@@ -27,6 +29,7 @@ func allMetricNames() map[string]bool {
 	workload.Instrument(reg)
 	analysis.Instrument(reg)
 	cluster.Instrument(reg)
+	corpus.Instrument(reg)
 	server.RegisterMetrics(reg)
 	cluster.RegisterMetrics(reg)
 	defer func() {
@@ -36,6 +39,7 @@ func allMetricNames() map[string]bool {
 		workload.Instrument(nil)
 		analysis.Instrument(nil)
 		cluster.Instrument(nil)
+		corpus.Instrument(nil)
 	}()
 	names := map[string]bool{}
 	for _, s := range reg.Snapshot().Samples {
@@ -47,7 +51,7 @@ func allMetricNames() map[string]bool {
 // metricName matches the catalogue entries in docs/OBSERVABILITY.md:
 // backticked dotted identifiers like `exec.jobs_released`, scoped to the
 // instrumented-package namespaces so file names like `out.json` don't count.
-var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster)\\.[a-z0-9_]+)`")
+var metricName = regexp.MustCompile("`((?:sim|exec|dse|expr|workload|server|analysis|gateway|cluster|corpus)\\.[a-z0-9_]+)`")
 
 // TestObservabilityDocMatchesRegistry keeps docs/OBSERVABILITY.md and the
 // registry in lockstep, both directions: every metric named in the doc must
@@ -70,6 +74,44 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 	for name := range registered {
 		if !documented[name] {
 			t.Errorf("metric %q is registered but missing from docs/OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// TestCorpusDocMatchesSpec keeps the spec-field table in docs/CORPUS.md
+// and the corpus.Spec struct in lockstep, both directions: every JSON
+// field the spec accepts must be documented, and every documented field
+// must exist. The declared side comes from reflection over Spec's json
+// tags, so adding an axis without documenting it fails here.
+func TestCorpusDocMatchesSpec(t *testing.T) {
+	doc, err := os.ReadFile("docs/CORPUS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table rows whose first column is a backticked snake_case field name.
+	rowRe := regexp.MustCompile("(?m)^\\| `([a-z0-9_]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range rowRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	declared := map[string]bool{}
+	st := reflect.TypeOf(corpus.Spec{})
+	for i := 0; i < st.NumField(); i++ {
+		name, _, _ := strings.Cut(st.Field(i).Tag.Get("json"), ",")
+		if name == "" || name == "-" {
+			t.Errorf("corpus.Spec field %s has no json name; the spec format is public", st.Field(i).Name)
+			continue
+		}
+		declared[name] = true
+	}
+	for name := range declared {
+		if !documented[name] {
+			t.Errorf("corpus.Spec field %q is missing from docs/CORPUS.md's spec-field table", name)
+		}
+	}
+	for name := range documented {
+		if !declared[name] {
+			t.Errorf("docs/CORPUS.md documents spec field %q, which corpus.Spec does not declare", name)
 		}
 	}
 }

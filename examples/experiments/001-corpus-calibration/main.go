@@ -1,0 +1,82 @@
+// Experiment 001: calibrate the generative corpus axes.
+//
+// Sweeps each candidate utilization level against each policy family
+// with single-axis-pinned sub-specs and reports the analysis verdict
+// mix, so the corpus defaults (corpus.DefaultSpec) can be chosen to
+// straddle the schedulability boundary instead of clustering in the
+// trivially-feasible or trivially-infeasible regimes. Analysis-only:
+// the differential oracle's simulations are not needed to place the
+// boundary, so the sweep stays fast enough to iterate on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtmdm/internal/analysis"
+	"rtmdm/internal/corpus"
+)
+
+func main() {
+	var (
+		per     = flag.Int("per", 120, "scenarios per (util, policy) cell")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		verbose = flag.Bool("v", false, "per-cell generate-error detail")
+	)
+	flag.Parse()
+
+	utils := []float64{0.2, 0.3, 0.45, 0.6, 0.75, 0.9, 1.1}
+	policies := []string{"rt-mdm", "rt-mdm-d3", "rt-mdm-d4", "serial-segfp", "serial-npfp", "rt-mdm-edf"}
+
+	fmt.Printf("%-14s", "policy \\ util")
+	for _, u := range utils {
+		fmt.Printf("  %6.2f", u)
+	}
+	fmt.Println("\n(cell = schedulable fraction of analyzable instances; '-' = no sound test)")
+
+	ctx := context.Background()
+	for _, pol := range policies {
+		fmt.Printf("%-14s", pol)
+		for _, u := range utils {
+			spec := corpus.DefaultSpec()
+			spec.Seed = *seed
+			spec.Count = *per
+			spec.Utils = []float64{u}
+			spec.Policies = []string{pol}
+			spec.FaultProfiles = []string{"none"}
+			spec.HorizonsMs = []float64{200}
+			gen, err := corpus.NewGenerator(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "calibration:", err)
+				os.Exit(1)
+			}
+			sched, analyzed, genErrs := 0, 0, 0
+			for i := 0; i < gen.Count(); i++ {
+				it, err := gen.At(i)
+				if err != nil {
+					genErrs++
+					continue
+				}
+				v, err := analysis.EvaluateScenario(ctx, it.Scenario)
+				if err != nil {
+					continue // no sound test for this policy
+				}
+				analyzed++
+				if v.Schedulable {
+					sched++
+				}
+			}
+			if analyzed == 0 {
+				fmt.Printf("  %6s", "-")
+			} else {
+				fmt.Printf("  %5.0f%%", 100*float64(sched)/float64(analyzed))
+			}
+			if *verbose && genErrs > 0 {
+				fmt.Fprintf(os.Stderr, "  [%s u=%.2f: %d/%d generate errors]\n", pol, u, genErrs, gen.Count())
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -159,6 +159,19 @@ func FuzzIncrementalRTA(f *testing.F) {
 	// Pinned priorities (first pinned, later unpinned: error parity).
 	f.Add([]byte{0, 0xc0, 0x40})
 	f.Add([]byte{0, 0xc0, 0xd0, 0xe0})
+	// Corpus-promoted edge cases (rtmdm-corpus smoke spec axes the
+	// original seeds never combined):
+	// rt-mdm-d4 — the deepest prefetch budget (SRAM pressure: the
+	// corpus found d4 mixes that exceed activation SRAM outright) —
+	// filled with the two largest fuzz models, then an infeasible
+	// 1 ms probe that must hit the screens identically on both paths.
+	f.Add([]byte{4, 0x14, 0x28, 0x07})
+	// rt-mdm-edf at high utilization with a mid-stream removal: the
+	// corpus' EDF instances cluster near the demand-test boundary.
+	f.Add([]byte{3, 0x14, 0x28, 0x02, 0x10})
+	// serial-segedf (no sound test): error parity across add, probe,
+	// and remove rather than a single evaluation.
+	f.Add([]byte{6, 0x28, 0x03, 0x02})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return

@@ -1,0 +1,36 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCorpusThroughput measures the end-to-end differential check —
+// generation, cold + incremental analysis, nominal simulation, faulted
+// simulation where drawn — cycling through a warm 64-instance slice of
+// the smoke corpus. ns/op is the steady-state cost of one oracle check;
+// recorded numbers live in docs/PERFORMANCE.md. The first pass over the
+// slice warms the model/segmentation/spec caches, which is also the
+// runner's steady state (workers share those caches process-wide).
+func BenchmarkCorpusThroughput(b *testing.B) {
+	spec := SmokeSpec()
+	spec.Count = 64
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewOracle(gen)
+	ctx := context.Background()
+	for i := 0; i < gen.Count(); i++ {
+		if out := o.Check(ctx, i); out.Class == ClassViolation {
+			b.Fatalf("index %d: %v", i, out.Violations)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := o.Check(ctx, i%gen.Count()); out.Class == ClassViolation {
+			b.Fatalf("index %d: %v", i%gen.Count(), out.Violations)
+		}
+	}
+}

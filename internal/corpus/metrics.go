@@ -1,0 +1,43 @@
+package corpus
+
+import (
+	"sync/atomic"
+
+	"rtmdm/internal/metrics"
+)
+
+// cInstruments bundles the corpus counters so they swap atomically; the
+// zero value's nil counters are no-ops, keeping the disabled path free.
+type cInstruments struct {
+	generated      *metrics.Counter
+	generateErrors *metrics.Counter
+	violations     *metrics.Counter
+	unsupported    *metrics.Counter
+	simRuns        *metrics.Counter
+	faultedRuns    *metrics.Counter
+	shrinkSteps    *metrics.Counter
+	checkpoints    *metrics.Counter
+}
+
+var instr atomic.Pointer[cInstruments]
+
+func init() { instr.Store(&cInstruments{}) }
+
+// Instrument wires the corpus counters to the registry; Instrument(nil)
+// disables them again. See docs/OBSERVABILITY.md for the catalogue.
+func Instrument(r *metrics.Registry) {
+	if r == nil {
+		instr.Store(&cInstruments{})
+		return
+	}
+	instr.Store(&cInstruments{
+		generated:      r.Counter("corpus.scenarios_generated", "scenarios", "corpus instances expanded from the spec"),
+		generateErrors: r.Counter("corpus.generate_errors", "scenarios", "axis draws with no activation-feasible workload after the salt ladder"),
+		violations:     r.Counter("corpus.violations", "scenarios", "scenarios where a soundness or parity property failed"),
+		unsupported:    r.Counter("corpus.analysis_unsupported", "scenarios", "scenarios whose drawn policy has no sound schedulability test"),
+		simRuns:        r.Counter("corpus.sim_runs", "runs", "nominal simulations executed by the oracle"),
+		faultedRuns:    r.Counter("corpus.faulted_runs", "runs", "fault-injected simulations executed by the oracle"),
+		shrinkSteps:    r.Counter("corpus.shrink_steps", "candidates", "shrink candidates evaluated while minimizing a counterexample"),
+		checkpoints:    r.Counter("corpus.checkpoints_written", "files", "resumable checkpoint files written by the runner"),
+	})
+}

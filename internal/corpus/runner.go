@@ -1,0 +1,271 @@
+package corpus
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// checkpointVersion versions the checkpoint wire format.
+const checkpointVersion = 1
+
+// Report summarizes a corpus sweep. Everything digest-relevant lives in
+// the manifest; the report adds operational detail (class counts,
+// violation records, throughput filled in by the caller) that may vary
+// without breaking manifest identity.
+type Report struct {
+	SpecDigest     string         `json:"spec_digest"`
+	Count          int            `json:"count"`
+	Checked        int            `json:"checked"`
+	Resumed        int            `json:"resumed,omitempty"`
+	Classes        map[string]int `json:"classes"`
+	WarmParity     int            `json:"warm_parity"`
+	Violations     []Outcome      `json:"violations,omitempty"`
+	ManifestDigest string         `json:"manifest_digest"`
+	// ElapsedNs and ScenariosPerSec are filled by the caller (wall-clock
+	// stays out of this package); both are excluded from the manifest.
+	ElapsedNs       int64   `json:"elapsed_ns,omitempty"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec,omitempty"`
+}
+
+// Runner sweeps the oracle over every corpus index with a worker pool.
+// Results are merged in index order, so the manifest and its digest are
+// byte-identical regardless of Workers or GOMAXPROCS.
+type Runner struct {
+	Oracle *Oracle
+	// Workers is the pool size (<=0 means 1).
+	Workers int
+	// CheckpointPath, when set, makes the sweep resumable: completed
+	// outcomes are persisted every CheckpointEvery completions (default
+	// 256) and on exit, atomically (temp file + rename).
+	CheckpointPath  string
+	CheckpointEvery int
+	// Progress, when set, is called after every completed scenario with
+	// (completed, total). Called from worker goroutines; must be
+	// cheap and concurrency-safe. Never feeds the manifest.
+	Progress func(done, total int)
+}
+
+// checkpoint is the persisted resume state. Only finished outcomes are
+// stored; canceled ones re-run on resume.
+type checkpoint struct {
+	Version    int       `json:"version"`
+	SpecDigest string    `json:"spec_digest"`
+	Outcomes   []Outcome `json:"outcomes"`
+}
+
+// Run sweeps the corpus. On context cancellation it writes a final
+// checkpoint (when configured) and returns the partial report alongside
+// ctx's error; a later Run with the same checkpoint path resumes where
+// it stopped.
+func (r *Runner) Run(ctx context.Context) (*Report, []Outcome, error) {
+	gen := r.Oracle.gen
+	count := gen.Count()
+	outcomes := make([]Outcome, count)
+	done := make([]bool, count)
+
+	resumed := 0
+	if r.CheckpointPath != "" {
+		n, err := r.loadCheckpoint(outcomes, done)
+		if err != nil {
+			return nil, nil, err
+		}
+		resumed = n
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	every := r.CheckpointEvery
+	if every <= 0 {
+		every = 256
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards completed counter + checkpoint writes
+	completed := resumed
+	var ckptErr error
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out := r.Oracle.Check(ctx, i)
+				mu.Lock()
+				outcomes[i] = out
+				if out.Class != ClassCanceled {
+					done[i] = true
+				}
+				completed++
+				c := completed
+				if r.CheckpointPath != "" && out.Class != ClassCanceled && (c-resumed)%every == 0 {
+					if err := r.writeCheckpoint(outcomes, done); err != nil && ckptErr == nil {
+						ckptErr = err
+					}
+				}
+				mu.Unlock()
+				if r.Progress != nil {
+					r.Progress(c, count)
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < count; i++ {
+		if done[i] {
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if r.CheckpointPath != "" {
+		if err := r.writeCheckpoint(outcomes, done); err != nil && ckptErr == nil {
+			ckptErr = err
+		}
+	}
+
+	rep := r.report(outcomes, resumed)
+	if err := ctx.Err(); err != nil {
+		return rep, outcomes, err
+	}
+	if ckptErr != nil {
+		return rep, outcomes, ckptErr
+	}
+	return rep, outcomes, nil
+}
+
+// report builds the summary and manifest digest from index-ordered
+// outcomes.
+func (r *Runner) report(outcomes []Outcome, resumed int) *Report {
+	rep := &Report{
+		SpecDigest: r.Oracle.gen.Digest(),
+		Count:      len(outcomes),
+		Resumed:    resumed,
+		Classes:    make(map[string]int),
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Class == "" {
+			o.Class = ClassCanceled
+		}
+		rep.Classes[o.Class]++
+		if o.Class != ClassCanceled {
+			rep.Checked++
+		}
+		if o.Warm {
+			rep.WarmParity++
+		}
+		if o.Class == ClassViolation {
+			rep.Violations = append(rep.Violations, *o)
+		}
+	}
+	rep.ManifestDigest = ManifestDigest(r.Oracle.gen, outcomes)
+	return rep
+}
+
+// Manifest renders the deterministic corpus manifest: a spec header
+// followed by one line per outcome in index order. Byte-identical for
+// the same spec regardless of worker count, GOMAXPROCS, or resume
+// boundaries.
+func Manifest(g *Generator, outcomes []Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rtmdm-corpus-manifest-v1\nspec %s\ncount %d\n", g.Digest(), len(outcomes))
+	for i := range outcomes {
+		b.WriteString(outcomes[i].manifestLine())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ManifestDigest is the SHA-256 hex digest of Manifest.
+func ManifestDigest(g *Generator, outcomes []Outcome) string {
+	h := sha256.Sum256([]byte(Manifest(g, outcomes)))
+	return hex.EncodeToString(h[:])
+}
+
+// loadCheckpoint restores finished outcomes from the checkpoint file, if
+// present. A checkpoint for a different spec digest is an error, not a
+// silent restart: resuming someone else's sweep would corrupt the
+// manifest.
+func (r *Runner) loadCheckpoint(outcomes []Outcome, done []bool) (int, error) {
+	data, err := os.ReadFile(r.CheckpointPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("corpus: checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return 0, fmt.Errorf("corpus: checkpoint %s: %w", r.CheckpointPath, err)
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("corpus: checkpoint %s: version %d, want %d", r.CheckpointPath, ck.Version, checkpointVersion)
+	}
+	if want := r.Oracle.gen.Digest(); ck.SpecDigest != want {
+		return 0, fmt.Errorf("corpus: checkpoint %s is for spec %.12s…, this run is %.12s…", r.CheckpointPath, ck.SpecDigest, want)
+	}
+	n := 0
+	for _, o := range ck.Outcomes {
+		if o.Index < 0 || o.Index >= len(outcomes) || o.Class == "" || o.Class == ClassCanceled {
+			continue
+		}
+		outcomes[o.Index] = o
+		done[o.Index] = true
+		n++
+	}
+	return n, nil
+}
+
+// writeCheckpoint persists the finished outcomes atomically. Caller
+// holds the runner mutex.
+func (r *Runner) writeCheckpoint(outcomes []Outcome, done []bool) error {
+	ck := checkpoint{Version: checkpointVersion, SpecDigest: r.Oracle.gen.Digest()}
+	for i := range outcomes {
+		if done[i] {
+			ck.Outcomes = append(ck.Outcomes, outcomes[i])
+		}
+	}
+	sort.Slice(ck.Outcomes, func(a, b int) bool { return ck.Outcomes[a].Index < ck.Outcomes[b].Index })
+	data, err := json.Marshal(&ck)
+	if err != nil {
+		return fmt.Errorf("corpus: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(r.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".corpus-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("corpus: checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("corpus: checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), r.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: checkpoint: %w", err)
+	}
+	instr.Load().checkpoints.Add(1)
+	return nil
+}

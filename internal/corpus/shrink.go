@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"rtmdm/internal/scenario"
+)
+
+// violationKind extracts the property label ("soundness",
+// "incremental-cold", …) so the shrinker never trades the original
+// failure for a different one mid-minimization.
+func violationKind(v string) string {
+	for i := 0; i < len(v); i++ {
+		if v[i] == ':' {
+			return v[:i]
+		}
+	}
+	return v
+}
+
+// sameKind reports whether any violation in vs has the wanted kind.
+func sameKind(vs []string, kind string) bool {
+	for _, v := range vs {
+		if violationKind(v) == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink greedily minimizes a violating scenario while it still
+// exhibits a violation of the same kind as the first one in seed order:
+// it drops tasks one at a time, removes the fault stanza, zeroes
+// offsets, rounds periods and deadlines to whole milliseconds, and
+// halves the horizon, looping to a fixpoint. Returns the minimal
+// scenario, its violations, and the number of candidates evaluated.
+// Deterministic: candidate order is a pure function of the scenario.
+func Shrink(ctx context.Context, o *Oracle, sc *scenario.Scenario) (*scenario.Scenario, []string, int) {
+	ins := instr.Load()
+	cur := sc.Canonicalize()
+	vs := o.CheckScenario(ctx, cur)
+	if len(vs) == 0 {
+		return cur, nil, 0
+	}
+	kind := violationKind(vs[0])
+	steps := 0
+	try := func(cand *scenario.Scenario) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		steps++
+		ins.shrinkSteps.Add(1)
+		cvs := o.CheckScenario(ctx, cand)
+		if sameKind(cvs, kind) {
+			cur, vs = cand.Canonicalize(), cvs
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && ctx.Err() == nil; {
+		changed = false
+		// Drop tasks, last first so earlier indices stay valid.
+		for i := len(cur.Tasks) - 1; i >= 0 && len(cur.Tasks) > 1; i-- {
+			cand := cloneScenario(cur)
+			cand.Tasks = append(cand.Tasks[:i:i], cand.Tasks[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+		if cur.Faults != nil {
+			cand := cloneScenario(cur)
+			cand.Faults = nil
+			if try(cand) {
+				changed = true
+			}
+		}
+		if anyOffset(cur) {
+			cand := cloneScenario(cur)
+			for i := range cand.Tasks {
+				cand.Tasks[i].OffsetMs = 0
+			}
+			if try(cand) {
+				changed = true
+			}
+		}
+		if anyFraction(cur) {
+			cand := cloneScenario(cur)
+			for i := range cand.Tasks {
+				cand.Tasks[i].PeriodMs = math.Ceil(cand.Tasks[i].PeriodMs)
+				if cand.Tasks[i].DeadlineMs != 0 {
+					cand.Tasks[i].DeadlineMs = math.Ceil(cand.Tasks[i].DeadlineMs)
+				}
+			}
+			if try(cand) {
+				changed = true
+			}
+		}
+		if cur.HorizonMs > 2 {
+			cand := cloneScenario(cur)
+			cand.HorizonMs = math.Ceil(cand.HorizonMs / 2)
+			if try(cand) {
+				changed = true
+			}
+		}
+	}
+	return cur, vs, steps
+}
+
+func cloneScenario(sc *scenario.Scenario) *scenario.Scenario {
+	out := *sc
+	out.Tasks = append([]scenario.TaskSpec(nil), sc.Tasks...)
+	if sc.Faults != nil {
+		f := *sc.Faults
+		out.Faults = &f
+	}
+	return &out
+}
+
+func anyOffset(sc *scenario.Scenario) bool {
+	for _, t := range sc.Tasks {
+		if t.OffsetMs != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func anyFraction(sc *scenario.Scenario) bool {
+	for _, t := range sc.Tasks {
+		if t.PeriodMs != math.Trunc(t.PeriodMs) || t.DeadlineMs != math.Trunc(t.DeadlineMs) {
+			return true
+		}
+	}
+	return false
+}
+
+// Repro is the minimal-counterexample file the shrinker writes under a
+// repro directory: the scenario plus the violations it exhibits, so a
+// failing corpus run leaves a self-describing artifact.
+type Repro struct {
+	// ID is the CanonicalHash of the *original* (unshrunk) scenario.
+	ID         string             `json:"id"`
+	SpecDigest string             `json:"spec_digest"`
+	Index      int                `json:"index"`
+	Violations []string           `json:"violations"`
+	Scenario   *scenario.Scenario `json:"scenario"`
+}
+
+// WriteRepro writes the repro as pretty JSON to dir/corpus-<id12>.json
+// and returns the path. The scenario stanza is directly loadable by
+// scenario.Parse (and thus rtmdm-sim/-analyze) after extracting it.
+func WriteRepro(dir string, rp *Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("corpus: repro: %w", err)
+	}
+	id := rp.ID
+	if len(id) > 12 {
+		id = id[:12]
+	}
+	path := filepath.Join(dir, "corpus-"+id+".json")
+	data, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("corpus: repro: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("corpus: repro: %w", err)
+	}
+	return path, nil
+}

@@ -15,6 +15,17 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":{"overrun_rate":-3}}`))
 	f.Add([]byte(`{"tasks":[{"name":"a","model":"lenet5","period_ms":10}],"faults":{"overrun_factor":1e300,"max_retries":-1}}`))
 	f.Add([]byte(`{"horizon_ms":1e308,"tasks":[{"name":"a","model":"lenet5","period_ms":1e-300}],"faults":{"dma_slowdown_rate_per_sec":1e6,"dma_slowdown_ms":1}}`))
+	// Corpus-promoted edge cases (rtmdm-corpus smoke spec, seed 1):
+	// generated instances combining fractional ms periods, constrained
+	// deadlines, release offsets, and fault stanzas in shapes the
+	// hand-authored seeds above never reach.
+	// Smoke index 7: EDF + mixed fault profile + offsets + skip-next.
+	f.Add([]byte(`{"platform":"stm32f746","policy":"rt-mdm-edf","horizon_ms":200,"tasks":[{"name":"t00","model":"ds-cnn","seed":18418,"period_ms":141.022477,"deadline_ms":119.869105,"offset_ms":59.31},{"name":"t01","model":"lenet5","seed":43909,"period_ms":19.472646,"deadline_ms":16.551749,"offset_ms":8.73},{"name":"t02","model":"ds-cnn","seed":44269,"period_ms":85.799129,"deadline_ms":72.929259,"offset_ms":1.79}],"faults":{"seed":6646498528271145315,"overrun_rate":0.05,"overrun_factor":1.3,"release_jitter_rate":0.1,"release_jitter_max_ms":1,"dma_slowdown_rate_per_sec":10,"dma_slowdown_ms":0.5,"dma_slowdown_factor":2,"transfer_fault_rate":0.01,"overrun":"skip-next"}}`))
+	// Smoke index 33: depth-4 prefetch budget (maximum SRAM pressure)
+	// at util 0.9 with constrained deadlines.
+	f.Add([]byte(`{"platform":"stm32f746","policy":"rt-mdm-d4","horizon_ms":200,"tasks":[{"name":"t00","model":"resnet8","seed":11734,"period_ms":241.40695,"deadline_ms":205.195907,"offset_ms":64.62},{"name":"t01","model":"lenet5","seed":19304,"period_ms":37.236242,"deadline_ms":31.650805,"offset_ms":18.21},{"name":"t02","model":"mobilenetv1-0.25","seed":9361,"period_ms":290.596316,"deadline_ms":247.006868,"offset_ms":102.5},{"name":"t03","model":"resnet8","seed":49161,"period_ms":500,"deadline_ms":425,"offset_ms":186.51}]}`))
+	// Smoke index 62: overloaded EDF set under DMA-slowdown windows.
+	f.Add([]byte(`{"platform":"stm32h743","policy":"rt-mdm-edf","horizon_ms":200,"tasks":[{"name":"t00","model":"tinymlp","seed":43842,"period_ms":21.14754,"deadline_ms":17.975409,"offset_ms":8.59},{"name":"t01","model":"squeezenet-micro","seed":5987,"period_ms":9.770755,"deadline_ms":8.305141,"offset_ms":2.5},{"name":"t02","model":"tinymlp","seed":17932,"period_ms":6.489368,"deadline_ms":5.515962,"offset_ms":1.21},{"name":"t03","model":"autoencoder","seed":13313,"period_ms":500,"deadline_ms":425,"offset_ms":226.16}],"faults":{"seed":4466546882246487355,"dma_slowdown_rate_per_sec":40,"dma_slowdown_ms":1,"dma_slowdown_factor":2.5,"overrun":"continue"}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := Parse(data)
 		if err != nil {
